@@ -1,0 +1,28 @@
+"""Benchmark ablation: activity savings vs block granularity.
+
+Sweeps BlockScheme widths 8/16/32 over the benchmark traces — the
+generalization of Tables 5 and 6, with the 32-bit row as the sanity
+floor (no compression, zero savings minus extension overhead).
+"""
+
+from repro.core.extension import BlockScheme
+from repro.pipeline.activity import ActivityModel, _average_report
+
+
+def test_granularity_sweep(benchmark, traces):
+    def run():
+        averages = {}
+        for block_bits in (8, 16, 32):
+            model = ActivityModel(scheme=BlockScheme(block_bits))
+            reports = [
+                model.process(records, name=name) for name, records in traces.items()
+            ]
+            averages[block_bits] = _average_report("AVG", reports)
+        return averages
+
+    averages = benchmark.pedantic(run, rounds=1, iterations=1)
+    for stage in ("rf_read", "alu", "latches"):
+        assert averages[8].savings(stage) >= averages[16].savings(stage) - 0.02
+        assert averages[16].savings(stage) >= averages[32].savings(stage) - 0.02
+    # Word granularity cannot save datapath activity (only overhead).
+    assert averages[32].savings("rf_read") <= 0.0

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate the Section 5 byte-serial bottleneck analysis.
+
+Paper: the EX stage is the dominant bottleneck (72% of stalls), which
+motivates the 3/2/2/1 semi-parallel widths; fetch demand is ~3.2 bytes,
+ALU ~2.7 bytes, memory accesses ~2.8 bytes wide on average.
+"""
+
+from repro.pipeline import simulate
+from repro.pipeline.siginfo import compute_siginfo
+
+
+def test_bottleneck_analysis(benchmark, traces):
+    def run():
+        totals = {}
+        instructions = 0
+        for records in traces.values():
+            result = simulate("byte_serial", records)
+            for stage, value in result.stage_excess.items():
+                totals[stage] = totals.get(stage, 0) + value
+            instructions += result.instructions
+        return totals, instructions
+
+    totals, instructions = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert max(totals, key=totals.get) == "ex"
+
+    # Cross-check the Section 5 bandwidth numbers on one trace.
+    records = next(iter(traces.values()))
+    fetch_bytes = alu_bytes = mem_bytes = mem_count = 0
+    for record in records:
+        info = compute_siginfo(record)
+        fetch_bytes += info.fetch_bytes
+        alu_bytes += info.alu_blocks
+        if record.mem_addr is not None:
+            mem_bytes += info.mem_blocks
+            mem_count += 1
+    assert 3.0 < fetch_bytes / len(records) < 3.6     # paper: ~3.2
+    assert 1.5 < alu_bytes / len(records) < 3.5       # paper: ~2.7
+    assert 1.0 < mem_bytes / max(1, mem_count) < 3.5  # paper: ~2.8

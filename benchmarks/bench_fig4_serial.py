@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 4 (CPI of the serial organizations).
+
+Paper: byte-serial raises CPI by 79% on average over the 32-bit
+baseline; the halfword-serial variant lands near +30%.
+"""
+
+from repro.pipeline import simulate
+
+
+def test_fig4_serial_cpi(benchmark, traces):
+    def run():
+        out = {}
+        for name, records in traces.items():
+            out[name] = {
+                org: simulate(org, records).cpi
+                for org in ("baseline32", "byte_serial", "halfword_serial")
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead = {
+        org: sum(r[org] / r["baseline32"] for r in results.values()) / len(results) - 1
+        for org in ("byte_serial", "halfword_serial")
+    }
+    assert 0.5 < overhead["byte_serial"] < 1.6      # paper: +79%
+    assert 0.15 < overhead["halfword_serial"] < 0.9  # paper: ~+30%
+    assert overhead["halfword_serial"] < overhead["byte_serial"]

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 8 (CPI of the byte-parallel skewed design).
+
+Paper: CPI very close to the 32-bit baseline for all programs.
+"""
+
+from repro.pipeline import simulate
+
+
+def test_fig8_skewed_cpi(benchmark, traces):
+    def run():
+        out = {}
+        for name, records in traces.items():
+            out[name] = {
+                org: simulate(org, records).cpi
+                for org in ("baseline32", "parallel_skewed")
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    overheads = [
+        r["parallel_skewed"] / r["baseline32"] - 1 for r in results.values()
+    ]
+    average = sum(overheads) / len(overheads)
+    assert average < 0.20           # close to baseline
+    assert max(overheads) < 0.30    # for every program

@@ -1,0 +1,46 @@
+"""Benchmarks for the implemented future-work studies.
+
+Section 3 names branch prediction as future study; Section 2.1 names
+non-power-of-two significance segments.  Both ablations are timed and
+shape-checked here.
+"""
+
+from repro.core.extension import SegmentedScheme
+from repro.pipeline import BimodalPredictor, InOrderPipeline
+from repro.pipeline.organizations import get_organization
+
+
+def test_branch_prediction_ablation(benchmark, traces):
+    def run():
+        org = get_organization("baseline32")
+        out = {}
+        for name, records in traces.items():
+            stall = InOrderPipeline(org).run(records).cpi
+            predictor = BimodalPredictor()
+            predicted = InOrderPipeline(org, predictor=predictor).run(records).cpi
+            out[name] = (stall, predicted, predictor.accuracy)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for stall, predicted, accuracy in results.values():
+        assert predicted < stall          # prediction always helps
+        assert accuracy > 0.75            # media loops predict well
+
+
+def test_segmentation_sweep(benchmark, traces):
+    def run():
+        values = []
+        for records in traces.values():
+            for record in records:
+                values.extend(record.read_values)
+        ratios = {}
+        for segments in ((8, 8, 8, 8), (8, 4, 4, 16), (16, 16), (8, 24)):
+            scheme = SegmentedScheme(segments)
+            bits = sum(scheme.stored_bits(value) for value in values)
+            ratios[segments] = bits / (32.0 * len(values))
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Byte segmentation beats coarse halfword segmentation on media data.
+    assert ratios[(8, 8, 8, 8)] < ratios[(16, 16)]
+    assert all(0.3 < ratio < 1.2 for ratio in ratios.values())

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 1 (significant-byte pattern frequencies).
+
+Times the dynamic pattern classification over the benchmark workload
+traces and checks the headline shape: ``eees`` dominates and the top
+four patterns cover the large majority of operand values.
+"""
+
+from repro.core.patterns import PatternCounter
+
+
+def count_patterns(traces):
+    counter = PatternCounter()
+    for records in traces.values():
+        for record in records:
+            for value in record.read_values:
+                counter.record(value)
+            if record.write_value is not None:
+                counter.record(record.write_value)
+    return counter
+
+
+def test_table1_pattern_frequencies(benchmark, traces):
+    counter = benchmark.pedantic(count_patterns, args=(traces,), rounds=1, iterations=1)
+    rows = counter.table()
+    assert rows[0][0] == "eees"
+    assert counter.top_coverage(4) > 0.80

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 3 (dynamic funct frequencies) and the
+Section 2.3 fetch statistics (3.17 bytes/instruction headline)."""
+
+from repro.core.icompress import FetchStatistics, build_recode_table
+
+
+def test_table3_and_fetch_stats(benchmark, traces):
+    def collect():
+        stats = FetchStatistics()
+        for records in traces.values():
+            for record in records:
+                stats.record(record.instr)
+        return stats
+
+    stats = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert 3.0 < stats.average_bytes_per_instruction() < 3.6
+    assert stats.fetch_savings() > 0.10
+    recode = build_recode_table(stats.funct_counts)
+    assert len(recode) == 8
+    assert recode[0].name == "ADDU"  # the universally dominant funct

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 5 (activity savings, byte granularity)."""
+
+from repro.core.extension import BYTE_SCHEME
+from repro.pipeline.activity import ActivityModel, _average_report
+
+
+def test_table5_byte_activity(benchmark, traces):
+    def study():
+        model = ActivityModel(scheme=BYTE_SCHEME)
+        reports = [model.process(records, name=name) for name, records in traces.items()]
+        return reports, _average_report("AVG", reports)
+
+    reports, average = benchmark.pedantic(study, rounds=1, iterations=1)
+    # Paper Table 5 AVG bands: fetch 18.2, RF read 46.5, ALU 33.2,
+    # PC 73.3, latches 42.2, tag ~0.9.
+    assert 0.08 < average.savings("fetch") < 0.30
+    assert 0.20 < average.savings("rf_read") < 0.60
+    assert 0.15 < average.savings("alu") < 0.60
+    assert 0.55 < average.savings("pc") < 0.90
+    assert average.savings("dcache_tag") < 0.20
+    # pegwit anchors the low end, as in the paper.
+    by_name = {report.name: report for report in reports}
+    assert by_name["pegwit"].savings("alu") < by_name["rawcaudio"].savings("alu")

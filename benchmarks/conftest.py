@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  The
+workload traces dominate the cost, so they are produced once per session
+and shared; the timed region is the analysis itself (plus, for the
+substrate benchmarks, the simulators proper).
+
+Benchmarks use a reduced but representative workload set so the whole
+harness completes in minutes; run the ``repro`` CLI for full-suite
+reproductions.
+"""
+
+import pytest
+
+from repro.workloads import get_workload
+
+#: Representative subset: two audio codecs, one image codec, the crypto
+#: anchor — spanning the full compressibility range.
+BENCH_WORKLOADS = ("rawcaudio", "rawdaudio", "cjpeg", "pegwit")
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """Workload objects for the benchmark set (traces cached inside)."""
+    return [get_workload(name) for name in BENCH_WORKLOADS]
+
+
+@pytest.fixture(scope="session")
+def traces(suite):
+    """name -> trace records, computed once per session."""
+    return {workload.name: workload.trace(scale=1) for workload in suite}

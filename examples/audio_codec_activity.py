@@ -1,0 +1,99 @@
+"""Scenario: energy profile of an embedded audio codec.
+
+The paper's motivating domain is battery-powered media processing.  This
+example takes the ADPCM speech encoder (Mediabench ``rawcaudio``), runs
+it on the functional simulator, and answers the system designer's two
+questions:
+
+1. How much switching activity does significance compression remove at
+   each pipeline stage (the paper's Table 5 row for this codec)?
+2. What does each pipeline organization cost in performance, and what is
+   the resulting activity-delay trade-off?
+
+Run with::
+
+    python examples/audio_codec_activity.py
+"""
+
+from repro.core.extension import BYTE_SCHEME, HALFWORD_SCHEME
+from repro.pipeline import ActivityModel, simulate
+from repro.pipeline.activity import STAGES
+from repro.study.report import format_table, percent
+from repro.workloads import get_workload
+
+
+def activity_profile(records):
+    print("Per-stage activity reduction (byte vs halfword granularity):")
+    rows = []
+    byte_report = ActivityModel(scheme=BYTE_SCHEME).process(records)
+    half_report = ActivityModel(scheme=HALFWORD_SCHEME).process(records)
+    for stage in STAGES:
+        rows.append(
+            (
+                stage,
+                percent(byte_report.savings(stage)),
+                percent(half_report.savings(stage)),
+            )
+        )
+    print(format_table(("stage", "byte", "halfword"), rows))
+    print()
+    return byte_report
+
+
+def performance_tradeoff(records, byte_report):
+    print("Organization trade-off (CPI vs datapath activity saving):")
+    datapath_stages = ("rf_read", "rf_write", "alu", "dcache_data", "latches")
+    base_bits = sum(byte_report.baseline[s] for s in datapath_stages)
+    compressed_bits = sum(byte_report.compressed[s] for s in datapath_stages)
+    activity_saving = 1.0 - compressed_bits / base_bits
+    baseline_cpi = simulate("baseline32", records).cpi
+    rows = []
+    for organization in (
+        "baseline32",
+        "byte_serial",
+        "halfword_serial",
+        "byte_semi_parallel",
+        "parallel_compressed",
+        "parallel_skewed",
+        "parallel_skewed_bypass",
+    ):
+        result = simulate(organization, records)
+        saving = 0.0 if organization == "baseline32" else activity_saving
+        overhead = result.cpi / baseline_cpi - 1.0
+        rows.append(
+            (
+                organization,
+                "%.3f" % result.cpi,
+                "%+.1f%%" % (100 * overhead),
+                percent(saving),
+            )
+        )
+    print(
+        format_table(
+            ("organization", "CPI", "CPI overhead", "datapath activity saved"),
+            rows,
+        )
+    )
+    print()
+    print(
+        "Reading: the byte-serial design saves %s of datapath activity at a"
+        % percent(activity_saving)
+    )
+    print(
+        "large CPI cost; the skewed+bypasses design keeps nearly all of the"
+    )
+    print("saving at ~2% CPI overhead — the paper's headline conclusion.")
+
+
+def main():
+    workload = get_workload("rawcaudio")
+    print("Workload:", workload.description)
+    workload.verify(scale=1)
+    print("Simulated output matches the reference encoder.\n")
+    records = workload.trace(scale=1)
+    byte_report = activity_profile(records)
+    performance_tradeoff(records, byte_report)
+
+
+if __name__ == "__main__":
+    main()

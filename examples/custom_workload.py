@@ -1,0 +1,119 @@
+"""Scenario: evaluating significance compression on *your own* kernel.
+
+Shows the full downstream-user workflow: write a kernel in MiniC,
+validate it against a Python model, trace it on the simulator, and get
+the paper's measurements (pattern mix, fetch footprint, per-stage
+activity savings, CPI across organizations) for that kernel.
+
+The kernel here is a fixed-point FIR filter — a typical embedded DSP
+loop that is not part of the bundled Mediabench-like suite.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+from repro.core.icompress import FetchStatistics
+from repro.core.patterns import PatternCounter
+from repro.pipeline import ActivityModel, simulate
+from repro.study.report import format_table, percent
+from repro.workloads.base import Workload, format_int_array
+from repro.workloads.inputs import audio_samples
+
+TAPS = (3, -5, 12, 24, 12, -5, 3)
+N_SAMPLES = 512
+
+
+def fir_source(scale):
+    samples = audio_samples(N_SAMPLES * scale, seed=0xF17)
+    return """
+%s
+%s
+int output[%d];
+
+int main() {
+    int n = %d;
+    int taps = %d;
+    int checksum = 0;
+    for (int i = taps - 1; i < n; i += 1) {
+        int acc = 0;
+        for (int k = 0; k < taps; k += 1) {
+            acc += coeff[k] * input[i - k];
+        }
+        acc >>= 6;
+        output[i] = acc;
+        checksum = (checksum * 31 + (acc & 0xFFFF)) & 0xFFFFFF;
+    }
+    print_int(checksum);
+    return 0;
+}
+""" % (
+        format_int_array("input", samples),
+        format_int_array("coeff", TAPS),
+        len(samples),
+        len(samples),
+        len(TAPS),
+    )
+
+
+def fir_reference(scale):
+    samples = audio_samples(N_SAMPLES * scale, seed=0xF17)
+    taps = len(TAPS)
+    checksum = 0
+    for i in range(taps - 1, len(samples)):
+        acc = 0
+        for k in range(taps):
+            acc += TAPS[k] * samples[i - k]
+        acc >>= 6
+        checksum = (checksum * 31 + (acc & 0xFFFF)) & 0xFFFFFF
+    return "%d" % checksum
+
+
+FIR = Workload(
+    "fir7",
+    fir_source,
+    fir_reference,
+    "7-tap fixed-point FIR filter over synthetic PCM audio",
+    category="custom",
+)
+
+
+def main():
+    print("Validating the compiled kernel against the Python model...")
+    FIR.verify(scale=1)
+    records = FIR.trace(scale=1)
+    print("OK — %d dynamic instructions.\n" % len(records))
+
+    counter = PatternCounter()
+    fetch = FetchStatistics()
+    for record in records:
+        for value in record.read_values:
+            counter.record(value)
+        fetch.record(record.instr)
+    print("Operand significance patterns (top 4):")
+    for pattern, pct, cumulative in counter.table()[:4]:
+        print("  %s  %5.1f%%  (cumulative %5.1f%%)" % (pattern, pct, cumulative))
+    print(
+        "Fetch footprint: %.2f bytes/instruction (vs 4.00 uncompressed)\n"
+        % fetch.average_bytes_per_instruction()
+    )
+
+    report = ActivityModel().process(records, name="fir7")
+    rows = [
+        (stage, percent(report.savings(stage)))
+        for stage in ("fetch", "rf_read", "alu", "dcache_data", "pc", "latches")
+    ]
+    print(format_table(("stage", "activity saved"), rows))
+    print()
+
+    baseline = simulate("baseline32", records).cpi
+    rows = []
+    for organization in ("baseline32", "byte_serial", "byte_semi_parallel",
+                         "parallel_skewed_bypass"):
+        cpi = simulate(organization, records).cpi
+        rows.append((organization, "%.3f" % cpi, "%+.1f%%" % (100 * (cpi / baseline - 1))))
+    print(format_table(("organization", "CPI", "overhead"), rows))
+
+
+if __name__ == "__main__":
+    main()

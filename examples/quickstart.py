@@ -1,0 +1,101 @@
+"""Quickstart: the significance-compression public API in five minutes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    BYTE_SCHEME,
+    TWO_BIT_SCHEME,
+    compress,
+    pattern_of,
+    significance_add,
+)
+from repro.core.icompress import InstructionCompressor
+from repro.isa.encoding import i_type
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Opcode
+from repro.minic import compile_program
+from repro.pipeline import simulate
+from repro.sim import Interpreter, load_program
+
+
+def demo_data_compression():
+    """Section 2.1: extension-bit compression of data values."""
+    print("== Data significance compression ==")
+    for value in (0x00000004, 0xFFFFF504, 0x10000009, 0x12345678):
+        word = compress(value)
+        print(
+            "0x%08x  pattern=%s  stored=%d bytes + %d ext bits"
+            % (
+                value,
+                pattern_of(value),
+                word.num_significant_blocks,
+                BYTE_SCHEME.num_ext_bits,
+            )
+        )
+    narrow = compress(0x00000004, TWO_BIT_SCHEME)
+    print("2-bit scheme stores 0x04 in %d bits total" % narrow.storage_bits)
+    print()
+
+
+def demo_significance_alu():
+    """Section 2.5: the ALU only works on significant bytes."""
+    print("== Significance ALU ==")
+    result = significance_add(0x00000007, 0x00000003)
+    print("7 + 3: %d byte(s) of ALU activity" % result.bytes_operated)
+    wide = significance_add(0x12345678, 0x0BADF00D)
+    print("wide + wide: %d byte(s) of ALU activity" % wide.bytes_operated)
+    exception = significance_add(0x01, 0x7F)  # Table 4 exception case
+    print(
+        "0x01 + 0x7F = 0x%02x: %d bytes operated (Table 4 exception)"
+        % (exception.value, exception.bytes_operated)
+    )
+    print()
+
+
+def demo_instruction_compression():
+    """Section 2.3: 3-byte instruction fetch."""
+    print("== Instruction significance compression ==")
+    compressor = InstructionCompressor()
+    small_imm = decode(i_type(Opcode.ADDIU, rt=8, rs=8, imm=4))
+    large_imm = decode(i_type(Opcode.ADDIU, rt=8, rs=8, imm=4000))
+    for instr in (small_imm, large_imm):
+        footprint = compressor.compress(instr)
+        print(
+            "%-24s -> %d bytes (%s)"
+            % (instr.mnemonic + " imm=%d" % instr.imm, footprint.bytes_fetched,
+               footprint.reason)
+        )
+    print()
+
+
+def demo_end_to_end():
+    """Compile MiniC, run it, and compare two pipeline organizations."""
+    print("== End to end: MiniC -> trace -> CPI ==")
+    program = compile_program(
+        """
+        int main() {
+            int sum = 0;
+            for (int i = 0; i < 1000; i += 1) { sum += i; }
+            print_int(sum);
+            return 0;
+        }
+        """
+    )
+    memory, machine = load_program(program)
+    interpreter = Interpreter(memory, machine, trace=True)
+    interpreter.run()
+    print("program output:", interpreter.output_text)
+    print("instructions executed:", interpreter.instructions_executed)
+    for organization in ("baseline32", "byte_serial", "parallel_skewed_bypass"):
+        result = simulate(organization, interpreter.trace_records)
+        print("%-24s CPI %.3f" % (organization, result.cpi))
+
+
+if __name__ == "__main__":
+    demo_data_compression()
+    demo_significance_alu()
+    demo_instruction_compression()
+    demo_end_to_end()

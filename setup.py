@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reproduction environment has no network access and no ``wheel``
+package, so PEP 660 editable installs (``pip install -e .``) cannot build
+their editable wheel.  This shim lets ``python setup.py develop`` perform
+the equivalent editable install; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "Very Low Power Pipelines using Significance Compression".
+
+Canal, González and Smith (MICRO-33, 2000) propose compressing data,
+addresses and instructions down to their numerically significant bytes,
+with 2–3 extension bits flowing through a 5-stage pipeline to gate off
+register, logic, cache and latch activity for the insignificant bytes.
+
+This package is a full from-scratch reproduction:
+
+* :mod:`repro.core` — the significance-compression schemes, significance
+  ALU, PC-increment model and instruction compression.
+* :mod:`repro.isa`, :mod:`repro.asm`, :mod:`repro.minic` — the MIPS-like
+  ISA, assembler and C-subset compiler substrates.
+* :mod:`repro.sim` — functional simulator, caches, TLBs and tracing.
+* :mod:`repro.pipeline` — timing/activity models of the paper's seven
+  pipeline organizations.
+* :mod:`repro.workloads` — Mediabench-like benchmark kernels.
+* :mod:`repro.study` — experiment harness regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import compress, significance_add
+    word = compress(0x10000009)          # 2 significant bytes + ext bits
+    result = significance_add(7, -3 & 0xFFFFFFFF)
+    print(result.bytes_operated)         # bytes of ALU activity
+
+"""
+
+from repro.core import (
+    BYTE_SCHEME,
+    HALFWORD_SCHEME,
+    TWO_BIT_SCHEME,
+    BlockScheme,
+    CompressedWord,
+    FetchStatistics,
+    InstructionCompressor,
+    PatternCounter,
+    compress,
+    compression_ratio,
+    pattern_of,
+    significance_add,
+    significance_compare,
+    significance_logical,
+    significance_shift,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BYTE_SCHEME",
+    "HALFWORD_SCHEME",
+    "TWO_BIT_SCHEME",
+    "BlockScheme",
+    "CompressedWord",
+    "FetchStatistics",
+    "InstructionCompressor",
+    "PatternCounter",
+    "compress",
+    "compression_ratio",
+    "pattern_of",
+    "significance_add",
+    "significance_compare",
+    "significance_logical",
+    "significance_shift",
+    "__version__",
+]

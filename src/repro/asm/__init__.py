@@ -1,0 +1,21 @@
+"""Two-pass assembler for the MIPS-like ISA.
+
+Stands in for the binutils toolchain of the original study.  The
+assembler consumes standard-looking MIPS assembly text (``.text`` /
+``.data`` sections, labels, ``.word``/``.byte``/``.asciiz``/``.space``
+directives, a practical set of pseudo-instructions) and produces a
+:class:`~repro.asm.program.Program` image that the loader maps into
+simulator memory.
+"""
+
+from repro.asm.assembler import AssemblerError, assemble
+from repro.asm.program import DATA_BASE, STACK_TOP, TEXT_BASE, Program
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "Program",
+    "TEXT_BASE",
+    "DATA_BASE",
+    "STACK_TOP",
+]

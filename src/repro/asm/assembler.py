@@ -1,0 +1,482 @@
+"""Two-pass assembler.
+
+Pass 1 lays out segments and binds labels; pass 2 expands
+pseudo-instructions and encodes machine words.  Pseudo-instruction
+expansion sizes are value-independent (``la`` is always two words, ``li``
+size depends only on its literal) so pass 1 can compute exact layout.
+
+Supported directives: ``.text``, ``.data``, ``.word``, ``.half``,
+``.byte``, ``.space``, ``.align``, ``.asciiz``, ``.ascii``, ``.globl``
+(accepted, ignored).  Supported pseudo-instructions: ``li``, ``la``,
+``move``, ``nop``, ``b``, ``beqz``, ``bnez``, ``blt``, ``bgt``, ``ble``,
+``bge``, ``bltu``, ``bgeu``, ``mul``, ``divq``, ``rem``, ``neg``,
+``not``, ``seq``, ``sne``.
+"""
+
+from repro.asm.parser import (
+    AsmSyntaxError,
+    Statement,
+    parse_integer,
+    parse_lines,
+    parse_memory_operand,
+    parse_string,
+)
+from repro.asm.program import DATA_BASE, TEXT_BASE, Program
+from repro.isa.encoding import i_type, j_type, r_type
+from repro.isa.opcodes import Funct, Opcode
+from repro.isa.registers import register_number
+
+AT = 1  # assembler temporary register
+
+
+class AssemblerError(ValueError):
+    """Raised for semantic assembly errors (bad operands, ranges, symbols)."""
+
+    def __init__(self, message, line_no=None):
+        location = " (line %d)" % line_no if line_no else ""
+        super().__init__(message + location)
+        self.line_no = line_no
+
+
+# Mnemonic tables keyed by operand signature ------------------------------
+
+THREE_REG = {
+    "add": Funct.ADD, "addu": Funct.ADDU, "sub": Funct.SUB, "subu": Funct.SUBU,
+    "and": Funct.AND, "or": Funct.OR, "xor": Funct.XOR, "nor": Funct.NOR,
+    "slt": Funct.SLT, "sltu": Funct.SLTU,
+    "sllv": Funct.SLLV, "srlv": Funct.SRLV, "srav": Funct.SRAV,
+}
+SHIFT = {"sll": Funct.SLL, "srl": Funct.SRL, "sra": Funct.SRA}
+MULDIV = {"mult": Funct.MULT, "multu": Funct.MULTU, "div": Funct.DIV,
+          "divu": Funct.DIVU}
+MOVE_FROM = {"mfhi": Funct.MFHI, "mflo": Funct.MFLO}
+MOVE_TO = {"mthi": Funct.MTHI, "mtlo": Funct.MTLO}
+IMM_ALU = {
+    "addi": Opcode.ADDI, "addiu": Opcode.ADDIU, "slti": Opcode.SLTI,
+    "sltiu": Opcode.SLTIU, "andi": Opcode.ANDI, "ori": Opcode.ORI,
+    "xori": Opcode.XORI,
+}
+MEMORY = {
+    "lb": Opcode.LB, "lbu": Opcode.LBU, "lh": Opcode.LH, "lhu": Opcode.LHU,
+    "lw": Opcode.LW, "sb": Opcode.SB, "sh": Opcode.SH, "sw": Opcode.SW,
+}
+BRANCH_2REG = {"beq": Opcode.BEQ, "bne": Opcode.BNE}
+BRANCH_1REG = {"blez": Opcode.BLEZ, "bgtz": Opcode.BGTZ}
+BRANCH_REGIMM = {"bltz": 0, "bgez": 1}
+JUMPS = {"j": Opcode.J, "jal": Opcode.JAL}
+
+#: Pseudo-instruction word counts (value-independent except ``li``).
+PSEUDO_FIXED_SIZES = {
+    "la": 2, "move": 1, "nop": 1, "b": 1, "beqz": 1, "bnez": 1,
+    "blt": 2, "bgt": 2, "ble": 2, "bge": 2, "bltu": 2, "bgeu": 2,
+    "mul": 2, "divq": 2, "rem": 2, "neg": 1, "not": 1, "seq": 3, "sne": 3,
+}
+
+
+def _li_size(value):
+    """Number of words ``li`` expands to for a literal ``value``."""
+    if -0x8000 <= value < 0x8000:
+        return 1
+    if 0 <= value <= 0xFFFF:
+        return 1
+    if value & 0xFFFF == 0 and 0 <= value <= 0xFFFFFFFF:
+        return 1
+    return 2
+
+
+class _Assembler:
+    """Internal state for one assembly run."""
+
+    def __init__(self, source, text_base, data_base):
+        self.statements = parse_lines(source)
+        self.text_base = text_base
+        self.data_base = data_base
+        self.symbols = {}
+        self.text_words = []
+        self.data = bytearray()
+        self.entry = None
+
+    # -------------------------------------------------------------- pass 1
+
+    def layout(self):
+        segment = "text"
+        text_pc = self.text_base
+        data_pc = self.data_base
+        pending_labels = []
+        for stmt in self.statements:
+            if stmt.kind == Statement.KIND_LABEL:
+                if stmt.name in self.symbols or stmt.name in pending_labels:
+                    raise AssemblerError(
+                        "duplicate label %r" % stmt.name, stmt.line_no
+                    )
+                pending_labels.append(stmt.name)
+            elif stmt.kind == Statement.KIND_DIRECTIVE:
+                name = stmt.name
+                if name == ".text":
+                    segment = "text"
+                elif name == ".data":
+                    segment = "data"
+                elif name == ".globl":
+                    pass
+                elif segment != "data":
+                    raise AssemblerError("%s outside .data" % name, stmt.line_no)
+                else:
+                    # Labels bind to the *aligned* address of the data item.
+                    pad, size = self._directive_size(stmt, data_pc)
+                    data_pc += pad
+                    self._bind(pending_labels, data_pc)
+                    data_pc += size
+            else:
+                if segment != "text":
+                    raise AssemblerError(
+                        "instruction outside .text", stmt.line_no
+                    )
+                self._bind(pending_labels, text_pc)
+                text_pc += 4 * self._instruction_words(stmt)
+        # Trailing labels bind to the end of the current segment.
+        self._bind(pending_labels, text_pc if segment == "text" else data_pc)
+        return text_pc
+
+    def _bind(self, pending_labels, address):
+        for label in pending_labels:
+            self.symbols[label] = address
+        pending_labels.clear()
+
+    def _directive_size(self, stmt, data_pc):
+        """Return (alignment padding, payload size) for a data directive."""
+        name = stmt.name
+        if name == ".word":
+            return (-data_pc) % 4, 4 * len(stmt.operands)
+        if name == ".half":
+            return (-data_pc) % 2, 2 * len(stmt.operands)
+        if name == ".byte":
+            return 0, len(stmt.operands)
+        if name == ".space":
+            return 0, parse_integer(stmt.operands[0], stmt.line_no)
+        if name == ".align":
+            power = parse_integer(stmt.operands[0], stmt.line_no)
+            return (-data_pc) % (1 << power), 0
+        if name in (".asciiz", ".ascii"):
+            text = parse_string(stmt.operands[0], stmt.line_no)
+            return 0, len(text) + (1 if name == ".asciiz" else 0)
+        raise AssemblerError("unknown directive %s" % name, stmt.line_no)
+
+    def _instruction_words(self, stmt):
+        name = stmt.name
+        if name == "li":
+            if len(stmt.operands) != 2:
+                raise AssemblerError("li needs 2 operands", stmt.line_no)
+            value = parse_integer(stmt.operands[1], stmt.line_no)
+            return _li_size(value)
+        if name in PSEUDO_FIXED_SIZES:
+            return PSEUDO_FIXED_SIZES[name]
+        return 1
+
+    # -------------------------------------------------------------- pass 2
+
+    def emit(self):
+        segment = "text"
+        pc = self.text_base
+        data_pc = self.data_base
+        for stmt in self.statements:
+            if stmt.kind == Statement.KIND_LABEL:
+                continue
+            if stmt.kind == Statement.KIND_DIRECTIVE:
+                if stmt.name == ".text":
+                    segment = "text"
+                elif stmt.name == ".data":
+                    segment = "data"
+                elif stmt.name == ".globl":
+                    pass
+                else:
+                    data_pc = self._emit_data(stmt, data_pc)
+                continue
+            words = self._encode(stmt, pc)
+            self.text_words.extend(words)
+            pc += 4 * len(words)
+
+    def _emit_data(self, stmt, data_pc):
+        name = stmt.name
+
+        def pad_to(alignment):
+            nonlocal data_pc
+            while data_pc % alignment:
+                self.data.append(0)
+                data_pc += 1
+
+        if name == ".word":
+            pad_to(4)
+            for operand in stmt.operands:
+                value = self._value_or_symbol(operand, stmt.line_no)
+                self.data.extend((value & 0xFFFFFFFF).to_bytes(4, "little"))
+                data_pc += 4
+        elif name == ".half":
+            pad_to(2)
+            for operand in stmt.operands:
+                value = parse_integer(operand, stmt.line_no)
+                self.data.extend((value & 0xFFFF).to_bytes(2, "little"))
+                data_pc += 2
+        elif name == ".byte":
+            for operand in stmt.operands:
+                self.data.append(parse_integer(operand, stmt.line_no) & 0xFF)
+                data_pc += 1
+        elif name == ".space":
+            count = parse_integer(stmt.operands[0], stmt.line_no)
+            self.data.extend(b"\0" * count)
+            data_pc += count
+        elif name == ".align":
+            power = parse_integer(stmt.operands[0], stmt.line_no)
+            pad_to(1 << power)
+        elif name in (".asciiz", ".ascii"):
+            text = parse_string(stmt.operands[0], stmt.line_no)
+            self.data.extend(text.encode("latin-1"))
+            if name == ".asciiz":
+                self.data.append(0)
+            data_pc += len(text) + (1 if name == ".asciiz" else 0)
+        return data_pc
+
+    def _value_or_symbol(self, text, line_no):
+        text = text.strip()
+        if text in self.symbols:
+            return self.symbols[text]
+        try:
+            return parse_integer(text, line_no)
+        except AsmSyntaxError:
+            raise AssemblerError("undefined symbol %r" % text, line_no)
+
+    # --------------------------------------------------------- instruction
+
+    def _encode(self, stmt, pc):
+        name = stmt.name
+        ops = stmt.operands
+        line = stmt.line_no
+        try:
+            return self._encode_inner(name, ops, pc, line)
+        except (KeyError, ValueError, IndexError) as error:
+            if isinstance(error, (AssemblerError, AsmSyntaxError)):
+                raise
+            raise AssemblerError(
+                "cannot assemble %r: %s" % (stmt.source.strip(), error), line
+            )
+
+    def _encode_inner(self, name, ops, pc, line):
+        if name in THREE_REG:
+            rd, rs, rt = (register_number(op) for op in ops)
+            if name in ("sllv", "srlv", "srav"):
+                # Assembly order rd, rt, rs: the shifted value is rt.
+                return [r_type(THREE_REG[name], rd=rd, rt=rs, rs=rt)]
+            return [r_type(THREE_REG[name], rd=rd, rs=rs, rt=rt)]
+        if name in SHIFT:
+            rd, rt = register_number(ops[0]), register_number(ops[1])
+            shamt = parse_integer(ops[2], line)
+            if not 0 <= shamt <= 31:
+                raise AssemblerError("shift amount out of range", line)
+            return [r_type(SHIFT[name], rd=rd, rt=rt, shamt=shamt)]
+        if name in MULDIV:
+            rs, rt = register_number(ops[0]), register_number(ops[1])
+            return [r_type(MULDIV[name], rs=rs, rt=rt)]
+        if name in MOVE_FROM:
+            return [r_type(MOVE_FROM[name], rd=register_number(ops[0]))]
+        if name in MOVE_TO:
+            return [r_type(MOVE_TO[name], rs=register_number(ops[0]))]
+        if name == "jr":
+            return [r_type(Funct.JR, rs=register_number(ops[0]))]
+        if name == "jalr":
+            if len(ops) == 1:
+                return [r_type(Funct.JALR, rd=31, rs=register_number(ops[0]))]
+            return [
+                r_type(
+                    Funct.JALR,
+                    rd=register_number(ops[0]),
+                    rs=register_number(ops[1]),
+                )
+            ]
+        if name == "syscall":
+            return [r_type(Funct.SYSCALL)]
+        if name == "break":
+            return [r_type(Funct.BREAK)]
+        if name in IMM_ALU:
+            rt, rs = register_number(ops[0]), register_number(ops[1])
+            imm = self._immediate(ops[2], line, logical=name in ("andi", "ori", "xori"))
+            return [i_type(IMM_ALU[name], rt=rt, rs=rs, imm=imm)]
+        if name == "lui":
+            rt = register_number(ops[0])
+            imm = parse_integer(ops[1], line)
+            return [i_type(Opcode.LUI, rt=rt, imm=imm & 0xFFFF)]
+        if name in MEMORY:
+            rt = register_number(ops[0])
+            offset_text, base_text = parse_memory_operand(ops[1], line)
+            offset = self._immediate(offset_text, line)
+            return [
+                i_type(MEMORY[name], rt=rt, rs=register_number(base_text), imm=offset)
+            ]
+        if name in BRANCH_2REG:
+            rs, rt = register_number(ops[0]), register_number(ops[1])
+            return [
+                i_type(
+                    BRANCH_2REG[name], rs=rs, rt=rt,
+                    imm=self._branch_offset(ops[2], pc, line),
+                )
+            ]
+        if name in BRANCH_1REG:
+            rs = register_number(ops[0])
+            return [
+                i_type(
+                    BRANCH_1REG[name], rs=rs,
+                    imm=self._branch_offset(ops[1], pc, line),
+                )
+            ]
+        if name in BRANCH_REGIMM:
+            rs = register_number(ops[0])
+            return [
+                i_type(
+                    Opcode.REGIMM, rs=rs, rt=BRANCH_REGIMM[name],
+                    imm=self._branch_offset(ops[1], pc, line),
+                )
+            ]
+        if name in JUMPS:
+            target = self._value_or_symbol(ops[0], line)
+            return [j_type(JUMPS[name], (target >> 2) & 0x03FFFFFF)]
+        return self._encode_pseudo(name, ops, pc, line)
+
+    # --------------------------------------------------------------- pseudo
+
+    def _encode_pseudo(self, name, ops, pc, line):
+        if name == "nop":
+            return [0]
+        if name == "move":
+            rd, rs = register_number(ops[0]), register_number(ops[1])
+            return [r_type(Funct.ADDU, rd=rd, rs=rs, rt=0)]
+        if name == "li":
+            return self._encode_li(ops, line)
+        if name == "la":
+            rt = register_number(ops[0])
+            address = self._value_or_symbol(ops[1], line)
+            return [
+                i_type(Opcode.LUI, rt=AT, imm=(address >> 16) & 0xFFFF),
+                i_type(Opcode.ORI, rt=rt, rs=AT, imm=address & 0xFFFF),
+            ]
+        if name == "b":
+            return [i_type(Opcode.BEQ, rs=0, rt=0, imm=self._branch_offset(ops[0], pc, line))]
+        if name == "beqz":
+            rs = register_number(ops[0])
+            return [i_type(Opcode.BEQ, rs=rs, rt=0, imm=self._branch_offset(ops[1], pc, line))]
+        if name == "bnez":
+            rs = register_number(ops[0])
+            return [i_type(Opcode.BNE, rs=rs, rt=0, imm=self._branch_offset(ops[1], pc, line))]
+        if name in ("blt", "bgt", "ble", "bge", "bltu", "bgeu"):
+            return self._encode_compare_branch(name, ops, pc, line)
+        if name == "mul":
+            rd, rs, rt = (register_number(op) for op in ops)
+            return [r_type(Funct.MULT, rs=rs, rt=rt), r_type(Funct.MFLO, rd=rd)]
+        if name == "divq":
+            rd, rs, rt = (register_number(op) for op in ops)
+            return [r_type(Funct.DIV, rs=rs, rt=rt), r_type(Funct.MFLO, rd=rd)]
+        if name == "rem":
+            rd, rs, rt = (register_number(op) for op in ops)
+            return [r_type(Funct.DIV, rs=rs, rt=rt), r_type(Funct.MFHI, rd=rd)]
+        if name == "neg":
+            rd, rs = register_number(ops[0]), register_number(ops[1])
+            return [r_type(Funct.SUBU, rd=rd, rs=0, rt=rs)]
+        if name == "not":
+            rd, rs = register_number(ops[0]), register_number(ops[1])
+            return [r_type(Funct.NOR, rd=rd, rs=rs, rt=0)]
+        if name == "seq":
+            rd, rs, rt = (register_number(op) for op in ops)
+            return [
+                r_type(Funct.XOR, rd=rd, rs=rs, rt=rt),
+                i_type(Opcode.SLTIU, rt=rd, rs=rd, imm=1),
+                r_type(Funct.ADDU, rd=rd, rs=rd, rt=0),
+            ]
+        if name == "sne":
+            rd, rs, rt = (register_number(op) for op in ops)
+            return [
+                r_type(Funct.XOR, rd=rd, rs=rs, rt=rt),
+                r_type(Funct.SLTU, rd=rd, rs=0, rt=rd),
+                r_type(Funct.ADDU, rd=rd, rs=rd, rt=0),
+            ]
+        raise AssemblerError("unknown mnemonic %r" % name, line)
+
+    def _encode_li(self, ops, line):
+        rt = register_number(ops[0])
+        value = parse_integer(ops[1], line)
+        if -0x8000 <= value < 0x8000:
+            return [i_type(Opcode.ADDIU, rt=rt, rs=0, imm=value)]
+        if 0 <= value <= 0xFFFF:
+            return [i_type(Opcode.ORI, rt=rt, rs=0, imm=value)]
+        value &= 0xFFFFFFFF
+        if value & 0xFFFF == 0:
+            return [i_type(Opcode.LUI, rt=rt, imm=(value >> 16) & 0xFFFF)]
+        return [
+            i_type(Opcode.LUI, rt=AT, imm=(value >> 16) & 0xFFFF),
+            i_type(Opcode.ORI, rt=rt, rs=AT, imm=value & 0xFFFF),
+        ]
+
+    def _encode_compare_branch(self, name, ops, pc, line):
+        """blt/bgt/ble/bge expand to slt + conditional branch on $at."""
+        rs, rt = register_number(ops[0]), register_number(ops[1])
+        # The branch is the second word, so its offset is from pc + 4.
+        offset = self._branch_offset(ops[2], pc + 4, line)
+        slt_funct = Funct.SLTU if name.endswith("u") else Funct.SLT
+        base = name[:3] if name.endswith("u") else name
+        if base == "blt":
+            compare = r_type(slt_funct, rd=AT, rs=rs, rt=rt)
+            branch = i_type(Opcode.BNE, rs=AT, rt=0, imm=offset)
+        elif base == "bge":
+            compare = r_type(slt_funct, rd=AT, rs=rs, rt=rt)
+            branch = i_type(Opcode.BEQ, rs=AT, rt=0, imm=offset)
+        elif base == "bgt":
+            compare = r_type(slt_funct, rd=AT, rs=rt, rt=rs)
+            branch = i_type(Opcode.BNE, rs=AT, rt=0, imm=offset)
+        else:  # ble
+            compare = r_type(slt_funct, rd=AT, rs=rt, rt=rs)
+            branch = i_type(Opcode.BEQ, rs=AT, rt=0, imm=offset)
+        return [compare, branch]
+
+    # -------------------------------------------------------------- helpers
+
+    def _immediate(self, text, line, logical=False):
+        value = self._value_or_symbol(text, line)
+        if logical:
+            if not 0 <= value <= 0xFFFF:
+                raise AssemblerError("logical immediate out of range", line)
+            return value
+        if not -0x8000 <= value <= 0xFFFF:
+            raise AssemblerError("immediate out of range: %d" % value, line)
+        return value
+
+    def _branch_offset(self, label, pc, line):
+        target = self._value_or_symbol(label, line)
+        delta = target - (pc + 4)
+        if delta % 4:
+            raise AssemblerError("unaligned branch target", line)
+        offset = delta >> 2
+        if not -0x8000 <= offset < 0x8000:
+            raise AssemblerError("branch target out of range", line)
+        return offset
+
+
+def assemble(source, text_base=TEXT_BASE, data_base=DATA_BASE, entry_symbol=None):
+    """Assemble ``source`` text into a :class:`Program`.
+
+    ``entry_symbol`` selects the entry point (defaults to the start of
+    the text segment, or the ``_start``/``main`` label when present).
+    """
+    assembler = _Assembler(source, text_base, data_base)
+    assembler.layout()
+    assembler.emit()
+    entry = None
+    if entry_symbol is not None:
+        entry = assembler.symbols[entry_symbol]
+    elif "_start" in assembler.symbols:
+        entry = assembler.symbols["_start"]
+    elif "main" in assembler.symbols:
+        entry = assembler.symbols["main"]
+    return Program(
+        assembler.text_words,
+        assembler.data,
+        assembler.symbols,
+        entry=entry,
+        text_base=text_base,
+        data_base=data_base,
+    )

@@ -1,0 +1,181 @@
+"""Assembly-source line parsing.
+
+Turns raw assembly text into a flat list of :class:`Statement` objects
+(labels, directives, instructions) with source locations preserved for
+error messages.  Operand *strings* are kept verbatim here; they are
+interpreted by the assembler, which knows the operand signature of each
+mnemonic.
+"""
+
+import re
+
+
+class AsmSyntaxError(ValueError):
+    """Raised for malformed assembly source."""
+
+    def __init__(self, message, line_no=None):
+        location = " (line %d)" % line_no if line_no else ""
+        super().__init__(message + location)
+        self.line_no = line_no
+
+
+LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+COMMENT_RE = re.compile(r"(?:#|//).*$")
+
+
+class Statement:
+    """One parsed assembly statement."""
+
+    KIND_LABEL = "label"
+    KIND_DIRECTIVE = "directive"
+    KIND_INSTRUCTION = "instruction"
+
+    __slots__ = ("kind", "name", "operands", "line_no", "source")
+
+    def __init__(self, kind, name, operands, line_no, source):
+        self.kind = kind
+        self.name = name
+        self.operands = operands
+        self.line_no = line_no
+        self.source = source
+
+    def __repr__(self):
+        return "Statement(%s %s %s @%d)" % (
+            self.kind,
+            self.name,
+            self.operands,
+            self.line_no,
+        )
+
+
+def _strip_comment(line):
+    """Remove trailing comments, respecting double-quoted strings."""
+    in_string = False
+    result = []
+    index = 0
+    while index < len(line):
+        char = line[index]
+        if char == '"' and (index == 0 or line[index - 1] != "\\"):
+            in_string = not in_string
+        if not in_string and (
+            char == "#" or line[index : index + 2] == "//"
+        ):
+            break
+        result.append(char)
+        index += 1
+    return "".join(result)
+
+
+def split_operands(text, line_no=None):
+    """Split an operand field on commas, respecting quoted strings."""
+    operands = []
+    current = []
+    in_string = False
+    for char in text:
+        if char == '"':
+            in_string = not in_string
+            current.append(char)
+        elif char == "," and not in_string:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if in_string:
+        raise AsmSyntaxError("unterminated string literal", line_no)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    if any(not op for op in operands):
+        raise AsmSyntaxError("empty operand", line_no)
+    return operands
+
+
+def parse_lines(source):
+    """Parse assembly ``source`` text into a list of statements."""
+    statements = []
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        while line:
+            match = LABEL_RE.match(line)
+            if match:
+                statements.append(
+                    Statement(
+                        Statement.KIND_LABEL, match.group(1), [], line_no, raw_line
+                    )
+                )
+                line = line[match.end():].strip()
+                continue
+            parts = line.split(None, 1)
+            name = parts[0]
+            operand_text = parts[1] if len(parts) > 1 else ""
+            operands = split_operands(operand_text, line_no) if operand_text else []
+            kind = (
+                Statement.KIND_DIRECTIVE
+                if name.startswith(".")
+                else Statement.KIND_INSTRUCTION
+            )
+            statements.append(
+                Statement(kind, name.lower(), operands, line_no, raw_line)
+            )
+            line = ""
+    return statements
+
+
+MEM_OPERAND_RE = re.compile(r"^(-?[\w.$]*)\((\$\w+)\)$")
+
+
+def parse_memory_operand(text, line_no=None):
+    """Parse ``offset($reg)`` into (offset_text, register_text).
+
+    A bare ``($reg)`` yields offset "0".
+    """
+    match = MEM_OPERAND_RE.match(text.replace(" ", ""))
+    if not match:
+        raise AsmSyntaxError("expected offset($reg), got %r" % text, line_no)
+    offset = match.group(1) or "0"
+    return offset, match.group(2)
+
+
+def parse_integer(text, line_no=None):
+    """Parse a decimal/hex/char integer literal (with optional sign)."""
+    text = text.strip()
+    try:
+        if len(text) == 3 and text[0] == "'" and text[2] == "'":
+            return ord(text[1])
+        return int(text, 0)
+    except ValueError:
+        raise AsmSyntaxError("bad integer literal %r" % text, line_no)
+
+
+STRING_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    '"': '"',
+}
+
+
+def parse_string(text, line_no=None):
+    """Parse a double-quoted string literal with C-style escapes."""
+    text = text.strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AsmSyntaxError("expected string literal, got %r" % text, line_no)
+    body = text[1:-1]
+    result = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\":
+            index += 1
+            if index >= len(body):
+                raise AsmSyntaxError("dangling escape in string", line_no)
+            escape = body[index]
+            if escape not in STRING_ESCAPES:
+                raise AsmSyntaxError("unknown escape \\%s" % escape, line_no)
+            result.append(STRING_ESCAPES[escape])
+        else:
+            result.append(char)
+        index += 1
+    return "".join(result)

@@ -1,0 +1,64 @@
+"""Program image produced by the assembler / consumed by the loader.
+
+The memory map mirrors the paper's experimental framework: the data
+segment base sits at 0x10000000 — the paper explicitly calls this out as
+the source of "internal hole" address patterns like 0x10000009 that the
+3-bit extension scheme captures.
+"""
+
+#: Base virtual address of the text segment.
+TEXT_BASE = 0x00400000
+
+#: Base virtual address of the data segment (as in the paper, Section 2.1).
+DATA_BASE = 0x10000000
+
+#: Initial stack pointer (grows downward).
+STACK_TOP = 0x7FFFEFF0
+
+
+class Program:
+    """An assembled program: text words, initialized data, symbols."""
+
+    def __init__(self, text_words, data_bytes, symbols, entry=None,
+                 text_base=TEXT_BASE, data_base=DATA_BASE):
+        self.text_words = list(text_words)
+        self.data_bytes = bytes(data_bytes)
+        self.symbols = dict(symbols)
+        self.text_base = text_base
+        self.data_base = data_base
+        self.entry = entry if entry is not None else text_base
+
+    @property
+    def text_size(self):
+        """Text segment size in bytes."""
+        return 4 * len(self.text_words)
+
+    @property
+    def data_size(self):
+        """Initialized data segment size in bytes."""
+        return len(self.data_bytes)
+
+    @property
+    def data_end(self):
+        """First address past the initialized data (heap start)."""
+        return self.data_base + self.data_size
+
+    def word_at(self, address):
+        """Return the text word at ``address`` (must be word-aligned)."""
+        if address % 4:
+            raise ValueError("unaligned text address 0x%08x" % address)
+        index = (address - self.text_base) // 4
+        if not 0 <= index < len(self.text_words):
+            raise ValueError("address 0x%08x outside text segment" % address)
+        return self.text_words[index]
+
+    def address_of(self, symbol):
+        """Return the address bound to ``symbol``."""
+        return self.symbols[symbol]
+
+    def __repr__(self):
+        return "Program(%d instructions, %d data bytes, %d symbols)" % (
+            len(self.text_words),
+            len(self.data_bytes),
+            len(self.symbols),
+        )

@@ -1,0 +1,72 @@
+"""Command-line interface: ``repro <experiment> [options]``.
+
+Examples::
+
+    repro list                      # show available experiments
+    repro table5                    # reproduce Table 5 on the full suite
+    repro fig4 --scale 2            # larger inputs
+    repro table1 --workloads rawcaudio,cjpeg
+    repro all                       # every table and figure in sequence
+"""
+
+import argparse
+import sys
+
+from repro.study.experiments import EXPERIMENTS, run_experiment
+from repro.workloads import get_workload, mediabench_suite
+
+
+def build_parser():
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the tables and figures of 'Very Low Power Pipelines "
+            "using Significance Compression' (MICRO-33, 2000)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'repro list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="workload input scale factor (default 1)",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload names (default: full Mediabench-like suite)",
+    )
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print("%-22s %s" % (name, EXPERIMENTS[name][0]))
+        return 0
+    workloads = None
+    if args.workloads:
+        workloads = [get_workload(name.strip()) for name in args.workloads.split(",")]
+    if args.experiment == "all":
+        names = [n for n in EXPERIMENTS if n != "fetchstats"]
+        for name in names:
+            print("=" * 72)
+            print(run_experiment(name, workloads=workloads, scale=args.scale))
+            print()
+        return 0
+    try:
+        print(run_experiment(args.experiment, workloads=workloads, scale=args.scale))
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

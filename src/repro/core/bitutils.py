@@ -1,0 +1,96 @@
+"""Low-level two's-complement and byte-slicing helpers.
+
+Everything in the significance-compression core operates on 32-bit words
+held as Python ints in the range 0..2**32-1.  These helpers centralize the
+conversions so the rest of the code never hand-rolls masking.
+"""
+
+MASK32 = 0xFFFFFFFF
+MASK16 = 0xFFFF
+MASK8 = 0xFF
+
+WORD_BYTES = 4
+WORD_BITS = 32
+
+
+def to_u32(value):
+    """Clamp an int to an unsigned 32-bit word."""
+    return value & MASK32
+
+
+def to_s32(value):
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    value &= MASK32
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def to_u16(value):
+    """Clamp an int to an unsigned 16-bit halfword."""
+    return value & MASK16
+
+
+def to_s16(value):
+    """Interpret the low 16 bits of ``value`` as a signed integer."""
+    value &= MASK16
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def to_s8(value):
+    """Interpret the low 8 bits of ``value`` as a signed integer."""
+    value &= MASK8
+    return value - 0x100 if value & 0x80 else value
+
+
+def byte_of(value, index):
+    """Return byte ``index`` (0 = least significant) of a 32-bit word."""
+    return (value >> (8 * index)) & MASK8
+
+
+def bytes_of(value):
+    """Return the four bytes of ``value`` as a tuple, LSB first."""
+    return (
+        value & MASK8,
+        (value >> 8) & MASK8,
+        (value >> 16) & MASK8,
+        (value >> 24) & MASK8,
+    )
+
+
+def from_bytes(byte_values):
+    """Reassemble a 32-bit word from an LSB-first byte sequence."""
+    word = 0
+    for index, byte in enumerate(byte_values):
+        word |= (byte & MASK8) << (8 * index)
+    return word & MASK32
+
+
+def sign_extension_byte(byte):
+    """The byte that sign-extends ``byte``: 0xFF if negative else 0x00."""
+    return MASK8 if byte & 0x80 else 0x00
+
+
+def is_extension_of(upper, lower):
+    """True if ``upper`` is exactly the sign extension of ``lower``."""
+    return upper == sign_extension_byte(lower)
+
+
+def block_of(value, index, block_bits):
+    """Return block ``index`` (0 = least significant) of ``block_bits`` bits."""
+    mask = (1 << block_bits) - 1
+    return (value >> (block_bits * index)) & mask
+
+
+def sign_extension_block(block, block_bits):
+    """The block value that sign-extends ``block`` of width ``block_bits``."""
+    mask = (1 << block_bits) - 1
+    return mask if block & (1 << (block_bits - 1)) else 0
+
+
+def popcount32(value):
+    """Number of set bits in the low 32 bits of ``value``."""
+    return bin(value & MASK32).count("1")
+
+
+def hamming32(a, b):
+    """Hamming distance between two 32-bit words (bits that differ)."""
+    return popcount32(a ^ b)

@@ -1,0 +1,31 @@
+"""MIPS-like 32-bit integer instruction-set substrate.
+
+The paper evaluates significance compression on the 32-bit MIPS ISA
+(integer subset, Mediabench).  This subpackage provides a from-scratch
+implementation of that substrate: register naming, opcode and function-code
+tables, a decoded :class:`~repro.isa.instruction.Instruction`
+representation, binary encode/decode, and a disassembler.
+
+The subset covers every instruction class the paper's Section 2 reasons
+about: R-format ALU ops (with and without the funct field in its common
+top-8 encodings), I-format ALU/memory/branch ops with 16-bit immediates,
+and the J-format jumps that the paper leaves uncompressed.
+"""
+
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Funct, InstrClass, Opcode, RegImm
+from repro.isa.registers import REGISTER_NAMES, register_name, register_number
+
+__all__ = [
+    "decode",
+    "encode",
+    "Instruction",
+    "Funct",
+    "InstrClass",
+    "Opcode",
+    "RegImm",
+    "REGISTER_NAMES",
+    "register_name",
+    "register_number",
+]

@@ -1,0 +1,92 @@
+"""Disassembler for the MIPS subset.
+
+Produces assembler-compatible text: every string emitted by
+:func:`disassemble` re-assembles (via :mod:`repro.asm`) to the original
+word, a property the test suite checks exhaustively with hypothesis.
+"""
+
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Funct, Opcode, RegImm, LOAD_SIZES, STORE_SIZES
+from repro.isa.registers import register_name
+
+
+def _reg(number):
+    return "$" + register_name(number)
+
+
+def disassemble(word, pc=None):
+    """Return assembly text for a 32-bit instruction ``word``.
+
+    When ``pc`` is given, branch and jump targets are rendered as absolute
+    hex addresses; otherwise they are rendered as raw offsets/fields.
+    """
+    instr = decode(word)
+    return disassemble_instruction(instr, pc=pc)
+
+
+def disassemble_instruction(instr, pc=None):
+    """Return assembly text for a decoded :class:`Instruction`."""
+    opcode = instr.opcode
+    if instr.is_nop:
+        return "nop"
+    if opcode == Opcode.SPECIAL:
+        return _disassemble_r(instr)
+    if opcode in (Opcode.J, Opcode.JAL):
+        if pc is not None:
+            return "%s 0x%x" % (instr.mnemonic, instr.jump_target(pc))
+        return "%s 0x%x" % (instr.mnemonic, instr.target << 2)
+    return _disassemble_i(instr, pc)
+
+
+def _disassemble_r(instr):
+    funct = instr.funct
+    mnemonic = instr.mnemonic
+    if funct in (Funct.SLL, Funct.SRL, Funct.SRA):
+        return "%s %s, %s, %d" % (mnemonic, _reg(instr.rd), _reg(instr.rt), instr.shamt)
+    if funct == Funct.JR:
+        return "jr %s" % _reg(instr.rs)
+    if funct == Funct.JALR:
+        return "jalr %s, %s" % (_reg(instr.rd), _reg(instr.rs))
+    if funct in (Funct.SYSCALL, Funct.BREAK):
+        return mnemonic
+    if funct in (Funct.MFHI, Funct.MFLO):
+        return "%s %s" % (mnemonic, _reg(instr.rd))
+    if funct in (Funct.MTHI, Funct.MTLO):
+        return "%s %s" % (mnemonic, _reg(instr.rs))
+    if funct in (Funct.MULT, Funct.MULTU, Funct.DIV, Funct.DIVU):
+        return "%s %s, %s" % (mnemonic, _reg(instr.rs), _reg(instr.rt))
+    if funct in (Funct.SLLV, Funct.SRLV, Funct.SRAV):
+        # Assembly order is rd, rt, rs: the shifted value before the
+        # shift-amount register.
+        return "%s %s, %s, %s" % (
+            mnemonic, _reg(instr.rd), _reg(instr.rt), _reg(instr.rs),
+        )
+    return "%s %s, %s, %s" % (mnemonic, _reg(instr.rd), _reg(instr.rs), _reg(instr.rt))
+
+
+def _disassemble_i(instr, pc):
+    opcode = instr.opcode
+    mnemonic = instr.mnemonic
+    if opcode in LOAD_SIZES or opcode in STORE_SIZES:
+        return "%s %s, %d(%s)" % (mnemonic, _reg(instr.rt), instr.imm, _reg(instr.rs))
+    if opcode == Opcode.LUI:
+        return "lui %s, 0x%x" % (_reg(instr.rt), instr.imm_u)
+    if opcode in (Opcode.BEQ, Opcode.BNE):
+        target = _branch_target_text(instr, pc)
+        return "%s %s, %s, %s" % (mnemonic, _reg(instr.rs), _reg(instr.rt), target)
+    if opcode in (Opcode.BLEZ, Opcode.BGTZ):
+        target = _branch_target_text(instr, pc)
+        return "%s %s, %s" % (mnemonic, _reg(instr.rs), target)
+    if opcode == Opcode.REGIMM:
+        mnemonic = RegImm(instr.rt).name.lower()
+        target = _branch_target_text(instr, pc)
+        return "%s %s, %s" % (mnemonic, _reg(instr.rs), target)
+    if opcode in (Opcode.ANDI, Opcode.ORI, Opcode.XORI):
+        return "%s %s, %s, 0x%x" % (mnemonic, _reg(instr.rt), _reg(instr.rs), instr.imm_u)
+    return "%s %s, %s, %d" % (mnemonic, _reg(instr.rt), _reg(instr.rs), instr.imm)
+
+
+def _branch_target_text(instr, pc):
+    if pc is not None:
+        return "0x%x" % instr.branch_target(pc)
+    return str(instr.imm)

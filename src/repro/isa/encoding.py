@@ -1,0 +1,91 @@
+"""Binary encoding and decoding of 32-bit instruction words."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Funct, Opcode
+
+
+class DecodeError(ValueError):
+    """Raised when a word does not decode to a supported instruction."""
+
+
+_VALID_OPCODES = {opcode.value for opcode in Opcode}
+_VALID_FUNCTS = {funct.value for funct in Funct}
+
+
+def decode(word):
+    """Decode a 32-bit ``word`` into an :class:`Instruction`.
+
+    Raises :class:`DecodeError` for opcodes or function codes outside the
+    supported MIPS-I integer subset.
+    """
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise DecodeError("instruction word out of range: %r" % (word,))
+    opcode_value = (word >> 26) & 0x3F
+    if opcode_value not in _VALID_OPCODES:
+        raise DecodeError("unsupported opcode 0x%02x in word 0x%08x" % (opcode_value, word))
+    opcode = Opcode(opcode_value)
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    rd = (word >> 11) & 0x1F
+    shamt = (word >> 6) & 0x1F
+    funct_value = word & 0x3F
+    imm_u = word & 0xFFFF
+    imm = imm_u - 0x10000 if imm_u & 0x8000 else imm_u
+    target = word & 0x03FFFFFF
+    if opcode == Opcode.SPECIAL:
+        if funct_value not in _VALID_FUNCTS:
+            raise DecodeError(
+                "unsupported funct 0x%02x in word 0x%08x" % (funct_value, word)
+            )
+        funct = Funct(funct_value)
+    else:
+        funct = 0
+    if opcode == Opcode.REGIMM and rt not in (0, 1):
+        raise DecodeError("unsupported REGIMM selector %d" % rt)
+    return Instruction(word, opcode, rs, rt, rd, shamt, funct, imm, imm_u, target)
+
+
+def encode(opcode, rs=0, rt=0, rd=0, shamt=0, funct=0, imm=0, target=0):
+    """Encode instruction fields into a 32-bit word.
+
+    ``imm`` may be negative (two's complement 16-bit) or an unsigned
+    16-bit value; ``target`` is the 26-bit J-format field.
+    """
+    word = (int(opcode) & 0x3F) << 26
+    if opcode in (Opcode.J, Opcode.JAL):
+        if not 0 <= target < (1 << 26):
+            raise ValueError("jump target out of range: %r" % (target,))
+        return word | target
+    word |= (rs & 0x1F) << 21
+    word |= (rt & 0x1F) << 16
+    if opcode == Opcode.SPECIAL:
+        word |= (rd & 0x1F) << 11
+        word |= (shamt & 0x1F) << 6
+        word |= int(funct) & 0x3F
+        return word
+    if not -0x8000 <= imm <= 0xFFFF:
+        raise ValueError("immediate out of range: %r" % (imm,))
+    return word | (imm & 0xFFFF)
+
+
+# ----------------------------------------------------------- builder helpers
+# Small constructors used by the assembler, code generator and tests.  Each
+# returns an encoded 32-bit word.
+
+
+def r_type(funct, rd=0, rs=0, rt=0, shamt=0):
+    """Encode an R-format instruction with the given ``funct``."""
+    return encode(Opcode.SPECIAL, rs=rs, rt=rt, rd=rd, shamt=shamt, funct=funct)
+
+
+def i_type(opcode, rt=0, rs=0, imm=0):
+    """Encode an I-format instruction."""
+    return encode(opcode, rs=rs, rt=rt, imm=imm)
+
+
+def j_type(opcode, target):
+    """Encode a J-format instruction with an absolute word ``target``."""
+    return encode(opcode, target=target)
+
+
+NOP = 0x00000000

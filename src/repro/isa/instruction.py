@@ -1,0 +1,234 @@
+"""Decoded instruction representation.
+
+:class:`Instruction` is the single currency passed between the decoder,
+the functional interpreter, the significance-compression logic and the
+pipeline timing models.  It is deliberately a plain mutable object with
+``__slots__``: millions of these are created per simulation, so attribute
+access speed matters more than immutability.
+"""
+
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    IMM_ALU_OPCODES,
+    LOAD_SIZES,
+    REGIMM_MNEMONICS,
+    STORE_SIZES,
+    FUNCT_MNEMONICS,
+    OPCODE_MNEMONICS,
+    Funct,
+    InstrClass,
+    Opcode,
+    RegImm,
+    classify,
+)
+
+
+class Instruction:
+    """A decoded 32-bit instruction.
+
+    Attributes mirror the MIPS field layout: ``opcode``, ``rs``, ``rt``,
+    ``rd``, ``shamt``, ``funct`` for R-format, ``imm`` (sign-extended
+    value, ``imm_u`` raw 16-bit) for I-format and ``target`` for J-format.
+    ``iclass`` caches the coarse behavioural class.
+    """
+
+    __slots__ = (
+        "word",
+        "opcode",
+        "rs",
+        "rt",
+        "rd",
+        "shamt",
+        "funct",
+        "imm",
+        "imm_u",
+        "target",
+        "iclass",
+    )
+
+    def __init__(self, word, opcode, rs, rt, rd, shamt, funct, imm, imm_u, target):
+        self.word = word
+        self.opcode = opcode
+        self.rs = rs
+        self.rt = rt
+        self.rd = rd
+        self.shamt = shamt
+        self.funct = funct
+        self.imm = imm
+        self.imm_u = imm_u
+        self.target = target
+        self.iclass = classify(opcode, funct)
+
+    # ---------------------------------------------------------------- format
+
+    @property
+    def is_r_format(self):
+        """True for SPECIAL (R-format) instructions."""
+        return self.opcode == Opcode.SPECIAL
+
+    @property
+    def is_j_format(self):
+        """True for J and JAL."""
+        return self.opcode in (Opcode.J, Opcode.JAL)
+
+    @property
+    def is_i_format(self):
+        """True for everything that is neither R- nor J-format."""
+        return not (self.is_r_format or self.is_j_format)
+
+    # ------------------------------------------------------------- behaviour
+
+    @property
+    def is_load(self):
+        return self.iclass is InstrClass.LOAD
+
+    @property
+    def is_store(self):
+        return self.iclass is InstrClass.STORE
+
+    @property
+    def is_branch(self):
+        return self.iclass is InstrClass.BRANCH
+
+    @property
+    def is_jump(self):
+        return self.iclass is InstrClass.JUMP
+
+    @property
+    def is_control(self):
+        """True for any instruction that can redirect the PC."""
+        return self.iclass in (InstrClass.BRANCH, InstrClass.JUMP)
+
+    @property
+    def memory_size(self):
+        """Access size in bytes for loads/stores, else 0."""
+        if self.opcode in LOAD_SIZES:
+            return LOAD_SIZES[self.opcode][0]
+        if self.opcode in STORE_SIZES:
+            return STORE_SIZES[self.opcode]
+        return 0
+
+    @property
+    def needs_adder(self):
+        """True when the instruction requires an ALU addition.
+
+        Per paper Section 2.5, additions/subtractions, memory address
+        generation and branch comparisons all exercise the adder; these
+        account for ~70% of executed Mediabench instructions.
+        """
+        if self.is_load or self.is_store:
+            return True
+        if self.is_branch:
+            return True
+        if self.opcode in (Opcode.ADDI, Opcode.ADDIU, Opcode.SLTI, Opcode.SLTIU):
+            return True
+        if self.opcode == Opcode.SPECIAL and self.funct in (
+            Funct.ADD,
+            Funct.ADDU,
+            Funct.SUB,
+            Funct.SUBU,
+            Funct.SLT,
+            Funct.SLTU,
+        ):
+            return True
+        return False
+
+    # ------------------------------------------------------- register usage
+
+    def source_registers(self):
+        """Return the tuple of register numbers this instruction reads."""
+        opcode = self.opcode
+        if opcode == Opcode.SPECIAL:
+            funct = self.funct
+            if funct in (Funct.SLL, Funct.SRL, Funct.SRA):
+                return (self.rt,)
+            if funct in (Funct.JR, Funct.JALR):
+                return (self.rs,)
+            if funct in (Funct.MFHI, Funct.MFLO):
+                return ()
+            if funct in (Funct.MTHI, Funct.MTLO):
+                return (self.rs,)
+            if funct in (Funct.SYSCALL, Funct.BREAK):
+                return ()
+            return (self.rs, self.rt)
+        if opcode in (Opcode.J, Opcode.JAL):
+            return ()
+        if opcode == Opcode.LUI:
+            return ()
+        if opcode in (Opcode.BEQ, Opcode.BNE):
+            return (self.rs, self.rt)
+        if opcode in STORE_SIZES:
+            return (self.rs, self.rt)
+        # Loads, immediate ALU ops, BLEZ/BGTZ/REGIMM read rs only.
+        return (self.rs,)
+
+    def destination_register(self):
+        """Return the register number written, or ``None``.
+
+        Writes to register 0 are reported as ``None`` (hard-wired zero).
+        """
+        opcode = self.opcode
+        if opcode == Opcode.SPECIAL:
+            funct = self.funct
+            if funct in (
+                Funct.JR,
+                Funct.SYSCALL,
+                Funct.BREAK,
+                Funct.MULT,
+                Funct.MULTU,
+                Funct.DIV,
+                Funct.DIVU,
+                Funct.MTHI,
+                Funct.MTLO,
+            ):
+                return None
+            dest = self.rd
+        elif opcode == Opcode.JAL:
+            dest = 31
+        elif opcode == Opcode.J:
+            return None
+        elif opcode in BRANCH_OPCODES or opcode in STORE_SIZES:
+            return None
+        elif opcode in IMM_ALU_OPCODES or opcode in LOAD_SIZES:
+            dest = self.rt
+        else:
+            return None
+        return dest if dest != 0 else None
+
+    # ---------------------------------------------------------------- misc
+
+    @property
+    def mnemonic(self):
+        """The assembler mnemonic for this instruction."""
+        if self.opcode == Opcode.SPECIAL:
+            return FUNCT_MNEMONICS.get(self.funct, "unknown")
+        if self.opcode == Opcode.REGIMM:
+            return REGIMM_MNEMONICS.get(self.rt, "unknown")
+        return OPCODE_MNEMONICS.get(self.opcode, "unknown")
+
+    @property
+    def is_nop(self):
+        """True for the canonical ``sll $zero, $zero, 0`` no-op."""
+        return self.word == 0
+
+    def branch_target(self, pc):
+        """Absolute branch target for a branch at address ``pc``."""
+        return (pc + 4 + (self.imm << 2)) & 0xFFFFFFFF
+
+    def jump_target(self, pc):
+        """Absolute jump target for a J/JAL at address ``pc``."""
+        return ((pc + 4) & 0xF0000000) | (self.target << 2)
+
+    def __repr__(self):
+        return "Instruction(0x%08x: %s)" % (self.word, self.mnemonic)
+
+    def __eq__(self, other):
+        return isinstance(other, Instruction) and other.word == self.word
+
+    def __hash__(self):
+        return hash(self.word)
+
+
+#: Selector constants re-exported for convenience.
+BLTZ_SELECTOR = RegImm.BLTZ
+BGEZ_SELECTOR = RegImm.BGEZ

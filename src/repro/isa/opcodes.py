@@ -1,0 +1,188 @@
+"""Opcode, function-code, and instruction-class tables for the MIPS subset.
+
+These tables drive the encoder, decoder, disassembler, assembler,
+functional interpreter, and — importantly for the paper — the instruction
+significance-compression logic of :mod:`repro.core.icompress`, which
+re-encodes the R-format ``funct`` field and permutes instruction bytes.
+"""
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """Primary 6-bit opcode values (MIPS-I integer subset)."""
+
+    SPECIAL = 0x00  # R-format; operation selected by the funct field
+    REGIMM = 0x01   # BLTZ/BGEZ; selected by the rt field
+    J = 0x02
+    JAL = 0x03
+    BEQ = 0x04
+    BNE = 0x05
+    BLEZ = 0x06
+    BGTZ = 0x07
+    ADDI = 0x08
+    ADDIU = 0x09
+    SLTI = 0x0A
+    SLTIU = 0x0B
+    ANDI = 0x0C
+    ORI = 0x0D
+    XORI = 0x0E
+    LUI = 0x0F
+    LB = 0x20
+    LH = 0x21
+    LW = 0x23
+    LBU = 0x24
+    LHU = 0x25
+    SB = 0x28
+    SH = 0x29
+    SW = 0x2B
+
+
+class Funct(enum.IntEnum):
+    """R-format 6-bit function codes (opcode SPECIAL)."""
+
+    SLL = 0x00
+    SRL = 0x02
+    SRA = 0x03
+    SLLV = 0x04
+    SRLV = 0x06
+    SRAV = 0x07
+    JR = 0x08
+    JALR = 0x09
+    SYSCALL = 0x0C
+    BREAK = 0x0D
+    MFHI = 0x10
+    MTHI = 0x11
+    MFLO = 0x12
+    MTLO = 0x13
+    MULT = 0x18
+    MULTU = 0x19
+    DIV = 0x1A
+    DIVU = 0x1B
+    ADD = 0x20
+    ADDU = 0x21
+    SUB = 0x22
+    SUBU = 0x23
+    AND = 0x24
+    OR = 0x25
+    XOR = 0x26
+    NOR = 0x27
+    SLT = 0x2A
+    SLTU = 0x2B
+
+
+class RegImm(enum.IntEnum):
+    """REGIMM rt-field selectors."""
+
+    BLTZ = 0x00
+    BGEZ = 0x01
+
+
+class InstrClass(enum.Enum):
+    """Coarse behavioural class used by the timing and activity models."""
+
+    ALU = "alu"
+    SHIFT = "shift"
+    MULDIV = "muldiv"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    SYSTEM = "system"
+
+
+#: Loads keyed by opcode -> access size in bytes and signedness.
+LOAD_SIZES = {
+    Opcode.LB: (1, True),
+    Opcode.LBU: (1, False),
+    Opcode.LH: (2, True),
+    Opcode.LHU: (2, False),
+    Opcode.LW: (4, True),
+}
+
+#: Stores keyed by opcode -> access size in bytes.
+STORE_SIZES = {
+    Opcode.SB: 1,
+    Opcode.SH: 2,
+    Opcode.SW: 4,
+}
+
+#: I-format opcodes whose 16-bit immediate is zero-extended (logical ops).
+ZERO_EXTENDED_IMM = frozenset({Opcode.ANDI, Opcode.ORI, Opcode.XORI})
+
+#: I-format ALU opcodes (write rt from rs op imm).
+IMM_ALU_OPCODES = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.ADDIU,
+        Opcode.SLTI,
+        Opcode.SLTIU,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.LUI,
+    }
+)
+
+#: Branch opcodes (conditional PC-relative).
+BRANCH_OPCODES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLEZ, Opcode.BGTZ, Opcode.REGIMM}
+)
+
+#: R-format shifts that use the shamt field (paper Section 2.3: the shamt
+#: permutation moves this field into the unused rs slot).
+SHAMT_FUNCTS = frozenset({Funct.SLL, Funct.SRL, Funct.SRA})
+
+#: R-format functs that perform an addition/subtraction in the significance
+#: ALU sense (Section 2.5: add/sub, memory and branches all need an adder).
+ADDER_FUNCTS = frozenset({Funct.ADD, Funct.ADDU, Funct.SUB, Funct.SUBU})
+
+
+def classify(opcode, funct):
+    """Return the :class:`InstrClass` for an (opcode, funct) pair.
+
+    ``funct`` is only inspected when ``opcode`` is SPECIAL; pass 0
+    otherwise.
+    """
+    if opcode == Opcode.SPECIAL:
+        if funct in SHAMT_FUNCTS or funct in (Funct.SLLV, Funct.SRLV, Funct.SRAV):
+            return InstrClass.SHIFT
+        if funct in (
+            Funct.MULT,
+            Funct.MULTU,
+            Funct.DIV,
+            Funct.DIVU,
+            Funct.MFHI,
+            Funct.MFLO,
+            Funct.MTHI,
+            Funct.MTLO,
+        ):
+            return InstrClass.MULDIV
+        if funct in (Funct.JR, Funct.JALR):
+            return InstrClass.JUMP
+        if funct in (Funct.SYSCALL, Funct.BREAK):
+            return InstrClass.SYSTEM
+        return InstrClass.ALU
+    if opcode in LOAD_SIZES:
+        return InstrClass.LOAD
+    if opcode in STORE_SIZES:
+        return InstrClass.STORE
+    if opcode in BRANCH_OPCODES:
+        return InstrClass.BRANCH
+    if opcode in (Opcode.J, Opcode.JAL):
+        return InstrClass.JUMP
+    return InstrClass.ALU
+
+
+#: R-format mnemonics keyed by funct value.
+FUNCT_MNEMONICS = {funct.value: funct.name.lower() for funct in Funct}
+
+#: I/J-format mnemonics keyed by opcode value (SPECIAL/REGIMM excluded).
+OPCODE_MNEMONICS = {
+    opcode.value: opcode.name.lower()
+    for opcode in Opcode
+    if opcode not in (Opcode.SPECIAL, Opcode.REGIMM)
+}
+
+#: REGIMM mnemonics keyed by the rt selector.
+REGIMM_MNEMONICS = {sel.value: sel.name.lower() for sel in RegImm}

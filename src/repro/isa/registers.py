@@ -1,0 +1,65 @@
+"""MIPS register ABI names and numbering.
+
+The simulator and assembler use the standard o32 ABI naming.  Register 0
+is hard-wired to zero; register 31 is the link register written by
+``jal``/``jalr``.
+"""
+
+REGISTER_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+#: Number of architectural integer registers.
+NUM_REGISTERS = 32
+
+#: Register used as the stack pointer by the ABI.
+SP = 29
+
+#: Register used as the frame pointer by the ABI.
+FP = 30
+
+#: Register written with the return address by jal/jalr.
+RA = 31
+
+#: First and second argument registers.
+A0, A1, A2, A3 = 4, 5, 6, 7
+
+#: First and second return-value registers.
+V0, V1 = 2, 3
+
+#: Global pointer register.
+GP = 28
+
+_NAME_TO_NUMBER = {name: number for number, name in enumerate(REGISTER_NAMES)}
+# Accept both "$fp" style aliases and raw "$30" style numbers.
+_NAME_TO_NUMBER["s8"] = FP
+
+
+def register_name(number):
+    """Return the ABI name (without ``$``) for register ``number``.
+
+    >>> register_name(29)
+    'sp'
+    """
+    return REGISTER_NAMES[number]
+
+
+def register_number(name):
+    """Return the register number for an ABI ``name`` or numeric string.
+
+    ``name`` may carry a leading ``$`` and may be either an ABI name
+    (``"sp"``) or a decimal register number (``"29"``).
+
+    Raises ``KeyError`` for unknown names and ``ValueError`` for numbers
+    outside 0..31.
+    """
+    text = name[1:] if name.startswith("$") else name
+    if text.isdigit():
+        number = int(text)
+        if not 0 <= number < NUM_REGISTERS:
+            raise ValueError("register number out of range: %s" % name)
+        return number
+    return _NAME_TO_NUMBER[text]

@@ -1,0 +1,20 @@
+"""MiniC — a small C-subset compiler targeting the MIPS-like ISA.
+
+The original study compiled Mediabench with gcc ``-O3``; this package is
+the equivalent substrate so the workload suite can be written in a
+readable high-level language instead of hand-rolled assembly.  MiniC
+supports: ``int`` scalars and arrays (global and local), ``int*``
+parameters, the full C expression grammar over 32-bit integers
+(short-circuit ``&&``/``||``, comparisons, shifts, ``* / %``), control
+flow (``if``/``else``, ``while``, ``for``, ``break``, ``continue``,
+``return``), function calls (register + stack arguments) and the
+builtins ``print_int``/``print_char``.
+
+The code generator emits assembly text consumed by :mod:`repro.asm`, so
+the whole pipeline — compiler, assembler, loader, interpreter — is
+exercised end to end for every workload.
+"""
+
+from repro.minic.compiler import CompileError, compile_program, compile_to_asm
+
+__all__ = ["CompileError", "compile_program", "compile_to_asm"]

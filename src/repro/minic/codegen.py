@@ -1,0 +1,777 @@
+"""MiniC code generation to MIPS-subset assembly text.
+
+Design notes (kept deliberately close to what a simple optimizing
+compiler like the paper's gcc ``-O3`` would produce for these kernels):
+
+* Scalar locals and parameters live in callee-saved ``$s0..$s7``
+  registers (first eight, in declaration order); the remainder and all
+  arrays live on the stack.  This keeps the dynamic memory-access share
+  near the ~1/3 the paper reports rather than the ~1/2 a naive
+  stack-machine would produce.
+* Expressions evaluate on a small stack of caller-saved temporaries
+  ``$t0..$t9``; live temporaries are spilled around calls.
+* Comparisons that feed ``if``/``while``/``for`` conditions fuse into
+  compare-and-branch sequences (``slt`` + ``bne``/``beq`` or direct
+  ``beq``/``bne``), mirroring real compiler output and keeping the
+  branch instruction mix realistic.
+* Multiplication by a constant power of two becomes a shift.
+
+Calling convention: first four arguments in ``$a0..$a3``, further
+arguments in the caller's outgoing-argument area at ``sp + 4*i``; result
+in ``$v0``.  ``$ra`` and used ``$s`` registers are saved in the prologue.
+"""
+
+from repro.minic.nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    ExprStmt,
+    For,
+    Function,
+    GlobalVar,
+    If,
+    Index,
+    LocalVar,
+    Num,
+    Return,
+    Unary,
+    Var,
+    While,
+)
+
+TEMP_REGS = ("$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$t8", "$t9")
+SAVED_REGS = ("$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7")
+ARG_REGS = ("$a0", "$a1", "$a2", "$a3")
+
+#: Builtins mapped to syscall selectors.
+BUILTINS = {"print_int": 1, "print_char": 11}
+
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+class CompileError(ValueError):
+    """Raised for semantic errors in MiniC source."""
+
+    def __init__(self, message, line=None):
+        location = " (line %d)" % line if line else ""
+        super().__init__(message + location)
+        self.line = line
+
+
+class _Symbol:
+    """Resolved variable: where it lives and whether it is an array/pointer."""
+
+    __slots__ = ("kind", "location", "is_array", "is_pointer")
+
+    def __init__(self, kind, location, is_array=False, is_pointer=False):
+        self.kind = kind          # "reg", "stack", "global", "stack_arg"
+        self.location = location  # register name, sp offset, or label
+        self.is_array = is_array
+        self.is_pointer = is_pointer
+
+
+class _FunctionContext:
+    """Per-function state: scopes, frame layout, label allocation."""
+
+    def __init__(self, function, global_symbols, functions):
+        self.function = function
+        self.global_symbols = global_symbols
+        self.functions = functions
+        self.scopes = [{}]
+        self.saved_used = []          # s-registers in use, in order
+        self.stack_bytes = 0          # local spill/array area (above outgoing)
+        self.outgoing_bytes = 0       # outgoing-argument area at sp+0
+        self.loop_stack = []          # (break_label, continue_label)
+        self.temp_depth = 0
+        self.max_temp_depth = 0
+        self.body_lines = []
+        self.epilogue_label = "f_%s_epilogue" % function.name
+
+    # --------------------------------------------------------------- scopes
+
+    def push_scope(self):
+        self.scopes.append({})
+
+    def pop_scope(self):
+        self.scopes.pop()
+
+    def declare(self, name, symbol, line):
+        scope = self.scopes[-1]
+        if name in scope:
+            raise CompileError("redeclaration of %r" % name, line)
+        scope[name] = symbol
+
+    def resolve(self, name, line):
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.global_symbols:
+            return self.global_symbols[name]
+        raise CompileError("undeclared identifier %r" % name, line)
+
+    # ---------------------------------------------------------------- frame
+
+    def alloc_saved_reg(self):
+        if len(self.saved_used) < len(SAVED_REGS):
+            register = SAVED_REGS[len(self.saved_used)]
+            self.saved_used.append(register)
+            return register
+        return None
+
+    def alloc_stack_words(self, words):
+        offset = self.stack_bytes
+        self.stack_bytes += 4 * words
+        return offset
+
+    def note_call(self, num_args):
+        if num_args > 4:
+            self.outgoing_bytes = max(self.outgoing_bytes, 4 * num_args)
+
+    def emit(self, text):
+        self.body_lines.append("    " + text)
+
+    def emit_label(self, label):
+        self.body_lines.append(label + ":")
+
+
+class CodeGenerator:
+    """Generates a complete assembly module from a ProgramNode."""
+
+    def __init__(self, program):
+        self.program = program
+        self.functions = {}
+        self.global_symbols = {}
+        self.data_lines = []
+        self.label_counter = 0
+
+    # ------------------------------------------------------------ interface
+
+    def generate(self):
+        """Return the assembly text for the whole program."""
+        functions = [d for d in self.program.declarations if isinstance(d, Function)]
+        for function in functions:
+            if function.name in self.functions:
+                raise CompileError("redefinition of %r" % function.name, function.line)
+            if function.name in BUILTINS:
+                raise CompileError(
+                    "%r is a builtin and cannot be redefined" % function.name,
+                    function.line,
+                )
+            self.functions[function.name] = function
+        if "main" not in self.functions:
+            raise CompileError("program has no main()")
+        for declaration in self.program.declarations:
+            if isinstance(declaration, GlobalVar):
+                self._declare_global(declaration)
+        text_lines = [
+            ".text",
+            "_start:",
+            "    jal f_main",
+            "    li $v0, 10",
+            "    syscall",
+        ]
+        for function in functions:
+            text_lines.extend(self._generate_function(function))
+        lines = text_lines
+        if self.data_lines:
+            lines = lines + [".data"] + self.data_lines
+        return "\n".join(lines) + "\n"
+
+    # -------------------------------------------------------------- globals
+
+    def _declare_global(self, declaration):
+        name = declaration.name
+        if name in self.global_symbols or name in self.functions:
+            raise CompileError("redefinition of %r" % name, declaration.line)
+        label = "g_" + name
+        self.global_symbols[name] = _Symbol(
+            "global", label, is_array=declaration.array_size is not None
+        )
+        if declaration.array_size is not None:
+            size = declaration.array_size
+            if size <= 0:
+                raise CompileError("array size must be positive", declaration.line)
+            values = declaration.initializer or []
+            if isinstance(values, int):
+                raise CompileError(
+                    "array initializer must be a {...} list", declaration.line
+                )
+            if len(values) > size:
+                raise CompileError("too many initializers", declaration.line)
+            if values:
+                padded = list(values) + [0] * (size - len(values))
+                words = ", ".join(str(v & 0xFFFFFFFF) for v in padded)
+                self.data_lines.append("%s: .word %s" % (label, words))
+            else:
+                self.data_lines.append("%s: .space %d" % (label, 4 * size))
+        else:
+            value = declaration.initializer or 0
+            if isinstance(value, list):
+                raise CompileError("scalar cannot take a {...} list", declaration.line)
+            self.data_lines.append("%s: .word %d" % (label, value & 0xFFFFFFFF))
+
+    # ------------------------------------------------------------ functions
+
+    def _generate_function(self, function):
+        ctx = _FunctionContext(function, self.global_symbols, self.functions)
+        # Parameters: first eight scalars into s-registers, rest on stack.
+        param_setup = []
+        for index, (param_name, is_pointer) in enumerate(function.params):
+            register = ctx.alloc_saved_reg()
+            if register is not None:
+                symbol = _Symbol("reg", register, is_pointer=is_pointer)
+                if index < 4:
+                    param_setup.append("move %s, %s" % (register, ARG_REGS[index]))
+                else:
+                    param_setup.append(("loadarg", register, index))
+            else:
+                if index < 4:
+                    offset = ctx.alloc_stack_words(1)
+                    symbol = _Symbol("stack", offset, is_pointer=is_pointer)
+                    param_setup.append("sw %s, <local+%d>($sp)" % (ARG_REGS[index], offset))
+                else:
+                    symbol = _Symbol("stack_arg", index, is_pointer=is_pointer)
+            ctx.declare(param_name, symbol, function.line)
+        self._gen_block(ctx, function.body)
+        return self._assemble_function(ctx, param_setup)
+
+    def _assemble_function(self, ctx, param_setup):
+        """Lay out the frame and stitch prologue/body/epilogue together."""
+        saved = list(ctx.saved_used)
+        save_area = 4 * (len(saved) + 1)  # +1 for $ra
+        frame = ctx.outgoing_bytes + ctx.stack_bytes + save_area
+        frame = (frame + 7) & ~7  # keep sp 8-aligned
+        local_base = ctx.outgoing_bytes
+        lines = ["f_%s:" % ctx.function.name]
+
+        def fix(text):
+            # <local+N> -> numeric sp offset of the local area;
+            # <incoming+I> -> sp offset of incoming stack argument I.
+            while "<local+" in text:
+                start = text.index("<local+")
+                end = text.index(">", start)
+                offset = int(text[start + 7 : end])
+                text = text[:start] + str(local_base + offset) + text[end + 1 :]
+            while "<incoming+" in text:
+                start = text.index("<incoming+")
+                end = text.index(">", start)
+                index = int(text[start + 10 : end])
+                text = text[:start] + str(frame + 4 * index) + text[end + 1 :]
+            return text
+
+        lines.append("    addiu $sp, $sp, -%d" % frame)
+        lines.append("    sw $ra, %d($sp)" % (frame - 4))
+        for position, register in enumerate(saved):
+            lines.append("    sw %s, %d($sp)" % (register, frame - 8 - 4 * position))
+        for item in param_setup:
+            if isinstance(item, tuple):
+                _tag, register, index = item
+                lines.append("    lw %s, %d($sp)" % (register, frame + 4 * index))
+            else:
+                lines.append("    " + fix(item))
+        for line in ctx.body_lines:
+            lines.append(fix(line))
+        lines.append(ctx.epilogue_label + ":")
+        for position, register in enumerate(saved):
+            lines.append("    lw %s, %d($sp)" % (register, frame - 8 - 4 * position))
+        lines.append("    lw $ra, %d($sp)" % (frame - 4))
+        lines.append("    addiu $sp, $sp, %d" % frame)
+        lines.append("    jr $ra")
+        return lines
+
+    # ------------------------------------------------------------ statements
+
+    def _gen_block(self, ctx, block):
+        ctx.push_scope()
+        for statement in block.statements:
+            self._gen_statement(ctx, statement)
+        ctx.pop_scope()
+
+    def _gen_statement(self, ctx, statement):
+        if isinstance(statement, Block):
+            self._gen_block(ctx, statement)
+        elif isinstance(statement, LocalVar):
+            self._gen_local_var(ctx, statement)
+        elif isinstance(statement, ExprStmt):
+            register = self._gen_expr(ctx, statement.expr)
+            self._release(ctx, register)
+        elif isinstance(statement, If):
+            self._gen_if(ctx, statement)
+        elif isinstance(statement, While):
+            self._gen_while(ctx, statement)
+        elif isinstance(statement, For):
+            self._gen_for(ctx, statement)
+        elif isinstance(statement, Return):
+            if statement.value is not None:
+                register = self._gen_expr(ctx, statement.value)
+                ctx.emit("move $v0, %s" % register)
+                self._release(ctx, register)
+            ctx.emit("b %s" % ctx.epilogue_label)
+        elif isinstance(statement, Break):
+            if not ctx.loop_stack:
+                raise CompileError("break outside loop", statement.line)
+            ctx.emit("b %s" % ctx.loop_stack[-1][0])
+        elif isinstance(statement, Continue):
+            if not ctx.loop_stack:
+                raise CompileError("continue outside loop", statement.line)
+            ctx.emit("b %s" % ctx.loop_stack[-1][1])
+        else:
+            raise CompileError("unhandled statement %r" % statement)
+
+    def _gen_local_var(self, ctx, declaration):
+        if declaration.array_size is not None:
+            if declaration.array_size <= 0:
+                raise CompileError("array size must be positive", declaration.line)
+            offset = ctx.alloc_stack_words(declaration.array_size)
+            ctx.declare(
+                declaration.name,
+                _Symbol("stack", offset, is_array=True),
+                declaration.line,
+            )
+            return
+        register = ctx.alloc_saved_reg()
+        if register is not None:
+            symbol = _Symbol("reg", register)
+        else:
+            symbol = _Symbol("stack", ctx.alloc_stack_words(1))
+        ctx.declare(declaration.name, symbol, declaration.line)
+        if declaration.initializer is not None:
+            value = self._gen_expr(ctx, declaration.initializer)
+            self._store_symbol(ctx, symbol, value)
+            self._release(ctx, value)
+        elif symbol.kind == "reg":
+            ctx.emit("move %s, $zero" % symbol.location)
+
+    def _gen_if(self, ctx, statement):
+        else_label = self._fresh_label("else")
+        end_label = self._fresh_label("endif")
+        target = else_label if statement.else_body is not None else end_label
+        self._gen_cond_branch(ctx, statement.condition, target, branch_if_true=False)
+        self._gen_statement(ctx, statement.then_body)
+        if statement.else_body is not None:
+            ctx.emit("b %s" % end_label)
+            ctx.emit_label(else_label)
+            self._gen_statement(ctx, statement.else_body)
+        ctx.emit_label(end_label)
+
+    def _gen_while(self, ctx, statement):
+        head = self._fresh_label("while")
+        end = self._fresh_label("endwhile")
+        ctx.emit_label(head)
+        self._gen_cond_branch(ctx, statement.condition, end, branch_if_true=False)
+        ctx.loop_stack.append((end, head))
+        self._gen_statement(ctx, statement.body)
+        ctx.loop_stack.pop()
+        ctx.emit("b %s" % head)
+        ctx.emit_label(end)
+
+    def _gen_for(self, ctx, statement):
+        ctx.push_scope()
+        if statement.init is not None:
+            self._gen_statement(ctx, statement.init)
+        head = self._fresh_label("for")
+        step_label = self._fresh_label("forstep")
+        end = self._fresh_label("endfor")
+        ctx.emit_label(head)
+        if statement.condition is not None:
+            self._gen_cond_branch(ctx, statement.condition, end, branch_if_true=False)
+        ctx.loop_stack.append((end, step_label))
+        self._gen_statement(ctx, statement.body)
+        ctx.loop_stack.pop()
+        ctx.emit_label(step_label)
+        if statement.step is not None:
+            register = self._gen_expr(ctx, statement.step)
+            self._release(ctx, register)
+        ctx.emit("b %s" % head)
+        ctx.emit_label(end)
+        ctx.pop_scope()
+
+    # --------------------------------------------------- condition branches
+
+    def _gen_cond_branch(self, ctx, condition, label, branch_if_true):
+        """Branch to ``label`` when condition is true/false, with fusion."""
+        if isinstance(condition, Unary) and condition.op == "!":
+            self._gen_cond_branch(ctx, condition.operand, label, not branch_if_true)
+            return
+        if isinstance(condition, Num):
+            truth = condition.value != 0
+            if truth == branch_if_true:
+                ctx.emit("b %s" % label)
+            return
+        if isinstance(condition, Binary) and condition.op == "&&":
+            if branch_if_true:
+                skip = self._fresh_label("and")
+                self._gen_cond_branch(ctx, condition.left, skip, False)
+                self._gen_cond_branch(ctx, condition.right, label, True)
+                ctx.emit_label(skip)
+            else:
+                self._gen_cond_branch(ctx, condition.left, label, False)
+                self._gen_cond_branch(ctx, condition.right, label, False)
+            return
+        if isinstance(condition, Binary) and condition.op == "||":
+            if branch_if_true:
+                self._gen_cond_branch(ctx, condition.left, label, True)
+                self._gen_cond_branch(ctx, condition.right, label, True)
+            else:
+                skip = self._fresh_label("or")
+                self._gen_cond_branch(ctx, condition.left, skip, True)
+                self._gen_cond_branch(ctx, condition.right, label, False)
+                ctx.emit_label(skip)
+            return
+        if isinstance(condition, Binary) and condition.op in CMP_OPS:
+            self._gen_compare_branch(ctx, condition, label, branch_if_true)
+            return
+        register = self._gen_expr(ctx, condition)
+        ctx.emit("%s %s, %s" % ("bnez" if branch_if_true else "beqz", register, label))
+        self._release(ctx, register)
+
+    def _gen_compare_branch(self, ctx, condition, label, branch_if_true):
+        op = condition.op if branch_if_true else _NEGATED[condition.op]
+        left = self._gen_expr(ctx, condition.left)
+        # Comparisons against zero use the dedicated branch forms.
+        if isinstance(condition.right, Num) and condition.right.value == 0:
+            zero_form = _ZERO_BRANCHES.get(op)
+            if zero_form is not None:
+                ctx.emit("%s %s, %s" % (zero_form, left, label))
+                self._release(ctx, left)
+                return
+        right = self._gen_expr(ctx, condition.right)
+        mnemonic = _CMP_BRANCHES[op]
+        ctx.emit("%s %s, %s, %s" % (mnemonic, left, right, label))
+        self._release(ctx, right)
+        self._release(ctx, left)
+
+    # ------------------------------------------------------------ expressions
+
+    def _gen_expr(self, ctx, node):
+        """Generate code for ``node``; returns the temp register holding it."""
+        if isinstance(node, Num):
+            register = self._acquire(ctx)
+            ctx.emit("li %s, %d" % (register, node.value))
+            return register
+        if isinstance(node, Var):
+            return self._gen_var(ctx, node)
+        if isinstance(node, Index):
+            address = self._gen_address(ctx, node)
+            ctx.emit("lw %s, 0(%s)" % (address, address))
+            return address
+        if isinstance(node, Assign):
+            return self._gen_assign(ctx, node)
+        if isinstance(node, Binary):
+            return self._gen_binary(ctx, node)
+        if isinstance(node, Unary):
+            return self._gen_unary(ctx, node)
+        if isinstance(node, Call):
+            return self._gen_call(ctx, node)
+        raise CompileError("unhandled expression %r" % node)
+
+    def _gen_var(self, ctx, node):
+        symbol = ctx.resolve(node.name, node.line)
+        register = self._acquire(ctx)
+        if symbol.is_array:
+            # Arrays decay to their base address.
+            if symbol.kind == "global":
+                ctx.emit("la %s, %s" % (register, symbol.location))
+            else:
+                ctx.emit("addiu %s, $sp, <local+%d>" % (register, symbol.location))
+                return register
+        elif symbol.kind == "reg":
+            ctx.emit("move %s, %s" % (register, symbol.location))
+        elif symbol.kind == "stack":
+            ctx.emit("lw %s, <local+%d>($sp)" % (register, symbol.location))
+        elif symbol.kind == "stack_arg":
+            ctx.emit("lw %s, <incoming+%d>($sp)" % (register, symbol.location))
+        else:  # global scalar
+            ctx.emit("la %s, %s" % (register, symbol.location))
+            ctx.emit("lw %s, 0(%s)" % (register, register))
+        return register
+
+    def _gen_address(self, ctx, node):
+        """Address of ``name[index]`` into a temp register."""
+        symbol = ctx.resolve(node.name, node.line)
+        if not (symbol.is_array or symbol.is_pointer):
+            raise CompileError("%r is not indexable" % node.name, node.line)
+        index_reg = self._gen_expr(ctx, node.index)
+        ctx.emit("sll %s, %s, 2" % (index_reg, index_reg))
+        if symbol.is_array and symbol.kind == "global":
+            base = self._acquire(ctx)
+            ctx.emit("la %s, %s" % (base, symbol.location))
+            ctx.emit("addu %s, %s, %s" % (index_reg, index_reg, base))
+            self._release(ctx, base)
+        elif symbol.is_array:  # local array
+            base = self._acquire(ctx)
+            ctx.emit("addiu %s, $sp, <local+%d>" % (base, symbol.location))
+            ctx.emit("addu %s, %s, %s" % (index_reg, index_reg, base))
+            self._release(ctx, base)
+        else:  # pointer variable (parameter or local holding an address)
+            base = self._gen_var(ctx, Var(node.name, node.line))
+            ctx.emit("addu %s, %s, %s" % (index_reg, index_reg, base))
+            self._release(ctx, base)
+        return index_reg
+
+    def _gen_assign(self, ctx, node):
+        target = node.target
+        if node.op is not None:
+            # Compound assignment: rewrite a op= b as a = a op b.
+            expanded = Binary(node.op, _clone_lvalue(target), node.value, node.line)
+            node = Assign(target, expanded, None, node.line)
+        if isinstance(target, Var):
+            symbol = ctx.resolve(target.name, target.line)
+            if symbol.is_array:
+                raise CompileError("cannot assign to array %r" % target.name, node.line)
+            value = self._gen_expr(ctx, node.value)
+            self._store_symbol(ctx, symbol, value)
+            return value
+        # Index target.
+        address = self._gen_address(ctx, target)
+        value = self._gen_expr(ctx, node.value)
+        ctx.emit("sw %s, 0(%s)" % (value, address))
+        # Free one temp: move the value into the (deeper) address register.
+        self._swap_release(ctx, value, address)
+        return address
+
+    def _store_symbol(self, ctx, symbol, register):
+        if symbol.kind == "reg":
+            ctx.emit("move %s, %s" % (symbol.location, register))
+        elif symbol.kind == "stack":
+            ctx.emit("sw %s, <local+%d>($sp)" % (register, symbol.location))
+        elif symbol.kind == "stack_arg":
+            ctx.emit("sw %s, <incoming+%d>($sp)" % (register, symbol.location))
+        else:
+            scratch = self._acquire(ctx)
+            ctx.emit("la %s, %s" % (scratch, symbol.location))
+            ctx.emit("sw %s, 0(%s)" % (register, scratch))
+            self._release(ctx, scratch)
+
+    def _gen_binary(self, ctx, node):
+        op = node.op
+        if op in ("&&", "||"):
+            return self._gen_logical_value(ctx, node)
+        if op == "*":
+            return self._gen_multiply(ctx, node)
+        if op in ("/", "%"):
+            left = self._gen_expr(ctx, node.left)
+            right = self._gen_expr(ctx, node.right)
+            mnemonic = "divq" if op == "/" else "rem"
+            ctx.emit("%s %s, %s, %s" % (mnemonic, left, left, right))
+            self._release(ctx, right)
+            return left
+        if op in CMP_OPS:
+            return self._gen_compare_value(ctx, node)
+        # Immediate forms for + and - with literal right operand.
+        if op in ("+", "-") and isinstance(node.right, Num):
+            amount = node.right.value if op == "+" else -node.right.value
+            if -0x8000 <= amount <= 0x7FFF:
+                left = self._gen_expr(ctx, node.left)
+                if amount != 0:
+                    ctx.emit("addiu %s, %s, %d" % (left, left, amount))
+                return left
+        if op in ("<<", ">>") and isinstance(node.right, Num):
+            left = self._gen_expr(ctx, node.left)
+            shamt = node.right.value & 31
+            mnemonic = "sll" if op == "<<" else "sra"
+            if shamt:
+                ctx.emit("%s %s, %s, %d" % (mnemonic, left, left, shamt))
+            return left
+        if op in ("&", "|", "^") and isinstance(node.right, Num) and 0 <= node.right.value <= 0xFFFF:
+            left = self._gen_expr(ctx, node.left)
+            mnemonic = {"&": "andi", "|": "ori", "^": "xori"}[op]
+            ctx.emit("%s %s, %s, %d" % (mnemonic, left, left, node.right.value))
+            return left
+        left = self._gen_expr(ctx, node.left)
+        right = self._gen_expr(ctx, node.right)
+        mnemonic = _BINARY_MNEMONICS.get(op)
+        if mnemonic is None:
+            raise CompileError("unhandled binary operator %r" % op, node.line)
+        if op in ("<<", ">>"):
+            ctx.emit("%s %s, %s, %s" % (mnemonic, left, left, right))
+        else:
+            ctx.emit("%s %s, %s, %s" % (mnemonic, left, left, right))
+        self._release(ctx, right)
+        return left
+
+    def _gen_multiply(self, ctx, node):
+        for first, second in ((node.left, node.right), (node.right, node.left)):
+            if isinstance(second, Num) and second.value > 0 and (
+                second.value & (second.value - 1)
+            ) == 0:
+                register = self._gen_expr(ctx, first)
+                shift = second.value.bit_length() - 1
+                if shift:
+                    ctx.emit("sll %s, %s, %d" % (register, register, shift))
+                return register
+        left = self._gen_expr(ctx, node.left)
+        right = self._gen_expr(ctx, node.right)
+        ctx.emit("mul %s, %s, %s" % (left, left, right))
+        self._release(ctx, right)
+        return left
+
+    def _gen_compare_value(self, ctx, node):
+        left = self._gen_expr(ctx, node.left)
+        right = self._gen_expr(ctx, node.right)
+        op = node.op
+        if op == "<":
+            ctx.emit("slt %s, %s, %s" % (left, left, right))
+        elif op == ">":
+            ctx.emit("slt %s, %s, %s" % (left, right, left))
+        elif op == "<=":
+            ctx.emit("slt %s, %s, %s" % (left, right, left))
+            ctx.emit("xori %s, %s, 1" % (left, left))
+        elif op == ">=":
+            ctx.emit("slt %s, %s, %s" % (left, left, right))
+            ctx.emit("xori %s, %s, 1" % (left, left))
+        elif op == "==":
+            ctx.emit("seq %s, %s, %s" % (left, left, right))
+        else:  # !=
+            ctx.emit("sne %s, %s, %s" % (left, left, right))
+        self._release(ctx, right)
+        return left
+
+    def _gen_logical_value(self, ctx, node):
+        """&& / || in value context: 0/1 with short-circuit evaluation."""
+        result = self._acquire(ctx)
+        end = self._fresh_label("boolend")
+        if node.op == "&&":
+            ctx.emit("move %s, $zero" % result)
+            false_label = self._fresh_label("boolfalse")
+            self._gen_cond_branch(ctx, node.left, false_label, False)
+            self._gen_cond_branch(ctx, node.right, false_label, False)
+            ctx.emit("li %s, 1" % result)
+            ctx.emit_label(false_label)
+        else:
+            ctx.emit("li %s, 1" % result)
+            true_label = self._fresh_label("booltrue")
+            self._gen_cond_branch(ctx, node.left, true_label, True)
+            self._gen_cond_branch(ctx, node.right, true_label, True)
+            ctx.emit("move %s, $zero" % result)
+            ctx.emit_label(true_label)
+        ctx.emit_label(end)
+        return result
+
+    def _gen_unary(self, ctx, node):
+        if node.op == "-":
+            register = self._gen_expr(ctx, node.operand)
+            ctx.emit("neg %s, %s" % (register, register))
+            return register
+        if node.op == "~":
+            register = self._gen_expr(ctx, node.operand)
+            ctx.emit("not %s, %s" % (register, register))
+            return register
+        # !x -> (x == 0)
+        register = self._gen_expr(ctx, node.operand)
+        ctx.emit("sltiu %s, %s, 1" % (register, register))
+        return register
+
+    def _gen_call(self, ctx, node):
+        if node.name in BUILTINS:
+            return self._gen_builtin(ctx, node)
+        function = ctx.functions.get(node.name)
+        if function is None:
+            raise CompileError("call to undefined function %r" % node.name, node.line)
+        if len(node.args) != len(function.params):
+            raise CompileError(
+                "%s() expects %d arguments, got %d"
+                % (node.name, len(function.params), len(node.args)),
+                node.line,
+            )
+        ctx.note_call(len(node.args))
+        # Spill any live temporaries: the callee clobbers $t registers.
+        spilled = self._spill_live_temps(ctx)
+        arg_regs = [self._gen_expr(ctx, arg) for arg in node.args]
+        for index, register in enumerate(arg_regs):
+            if index < 4:
+                ctx.emit("move %s, %s" % (ARG_REGS[index], register))
+            else:
+                ctx.emit("sw %s, %d($sp)" % (register, 4 * index))
+        for register in reversed(arg_regs):
+            self._release(ctx, register)
+        ctx.emit("jal f_%s" % node.name)
+        self._restore_live_temps(ctx, spilled)
+        result = self._acquire(ctx)
+        ctx.emit("move %s, $v0" % result)
+        return result
+
+    def _gen_builtin(self, ctx, node):
+        if len(node.args) != 1:
+            raise CompileError("%s() takes one argument" % node.name, node.line)
+        spilled = self._spill_live_temps(ctx)
+        register = self._gen_expr(ctx, node.args[0])
+        ctx.emit("move $a0, %s" % register)
+        self._release(ctx, register)
+        ctx.emit("li $v0, %d" % BUILTINS[node.name])
+        ctx.emit("syscall")
+        self._restore_live_temps(ctx, spilled)
+        result = self._acquire(ctx)
+        ctx.emit("move %s, $zero" % result)
+        return result
+
+    # ------------------------------------------------------- temp registers
+
+    def _acquire(self, ctx):
+        if ctx.temp_depth >= len(TEMP_REGS):
+            raise CompileError(
+                "expression too deep (more than %d live temporaries)"
+                % len(TEMP_REGS)
+            )
+        register = TEMP_REGS[ctx.temp_depth]
+        ctx.temp_depth += 1
+        ctx.max_temp_depth = max(ctx.max_temp_depth, ctx.temp_depth)
+        return register
+
+    def _release(self, ctx, register):
+        expected = TEMP_REGS[ctx.temp_depth - 1]
+        if register != expected:
+            raise CompileError(
+                "internal error: temp release order (%s vs %s)" % (register, expected)
+            )
+        ctx.temp_depth -= 1
+
+    def _swap_release(self, ctx, keep, drop):
+        """Release ``drop`` which sits *below* ``keep`` on the temp stack."""
+        ctx.emit("move %s, %s" % (drop, keep))
+        self._release(ctx, keep)
+        # The value now lives in what was the address register.
+
+    def _spill_live_temps(self, ctx):
+        """Save all live temporaries to the frame's spill area."""
+        live = [TEMP_REGS[i] for i in range(ctx.temp_depth)]
+        slots = []
+        for register in live:
+            offset = ctx.alloc_stack_words(1)
+            ctx.emit("sw %s, <local+%d>($sp)" % (register, offset))
+            slots.append((register, offset))
+        return slots
+
+    def _restore_live_temps(self, ctx, spilled):
+        for register, offset in spilled:
+            ctx.emit("lw %s, <local+%d>($sp)" % (register, offset))
+
+    def _fresh_label(self, stem):
+        self.label_counter += 1
+        return "L%s_%d" % (stem, self.label_counter)
+
+
+_NEGATED = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+_CMP_BRANCHES = {
+    "==": "beq", "!=": "bne", "<": "blt", "<=": "ble", ">": "bgt", ">=": "bge",
+}
+
+_ZERO_BRANCHES = {
+    "==": "beqz", "!=": "bnez", "<": "bltz", "<=": "blez", ">": "bgtz", ">=": "bgez",
+}
+
+_BINARY_MNEMONICS = {
+    "+": "addu", "-": "subu", "&": "and", "|": "or", "^": "xor",
+    "<<": "sllv", ">>": "srav",
+}
+
+
+def _clone_lvalue(node):
+    """Shallow clone of a Var/Index for compound-assignment expansion."""
+    if isinstance(node, Var):
+        return Var(node.name, node.line)
+    return Index(node.name, node.index, node.line)

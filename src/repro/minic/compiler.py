@@ -1,0 +1,31 @@
+"""MiniC compilation driver: source text -> assembled Program."""
+
+from repro.asm import assemble
+from repro.minic.codegen import CodeGenerator, CompileError
+from repro.minic.lexer import LexError
+from repro.minic.parser import ParseError, parse
+
+__all__ = ["CompileError", "compile_to_asm", "compile_program"]
+
+
+def compile_to_asm(source):
+    """Compile MiniC ``source`` to assembly text.
+
+    Raises :class:`CompileError` (or its lexer/parser cousins, which are
+    also ``ValueError`` subclasses) on bad input.
+    """
+    tree = parse(source)
+    return CodeGenerator(tree).generate()
+
+
+def compile_program(source):
+    """Compile MiniC ``source`` all the way to an assembled Program.
+
+    The program's entry point is the generated ``_start`` stub, which
+    calls ``main`` and issues the exit syscall when it returns.
+    """
+    return assemble(compile_to_asm(source), entry_symbol="_start")
+
+
+#: Re-exported for callers that want to catch every front-end error class.
+FRONTEND_ERRORS = (CompileError, ParseError, LexError)

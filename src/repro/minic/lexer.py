@@ -1,0 +1,115 @@
+"""MiniC lexical analysis."""
+
+KEYWORDS = frozenset(
+    {"int", "void", "if", "else", "while", "for", "return", "break", "continue"}
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+MULTI_CHAR_OPS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+)
+
+SINGLE_CHAR_OPS = "+-*/%<>=!&|^~(){}[];,"
+
+
+class LexError(ValueError):
+    """Raised for unrecognized input."""
+
+    def __init__(self, message, line):
+        super().__init__("%s (line %d)" % (message, line))
+        self.line = line
+
+
+class Token:
+    """One lexical token: kind is 'ident', 'number', 'keyword' or the
+    operator/punctuation text itself."""
+
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token(%s, %r, line %d)" % (self.kind, self.value, self.line)
+
+
+def tokenize(source):
+    """Convert MiniC source text into a list of tokens (EOF excluded)."""
+    tokens = []
+    index = 0
+    line = 1
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        if char.isdigit():
+            start = index
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                index += 2
+                while index < length and source[index] in "0123456789abcdefABCDEF":
+                    index += 1
+                value = int(source[start:index], 16)
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+                value = int(source[start:index])
+            tokens.append(Token("number", value, line))
+            continue
+        if char == "'":
+            if index + 2 < length and source[index + 1] == "\\":
+                escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, "r": 13}
+                escape = source[index + 2]
+                if escape not in escapes or source[index + 3] != "'":
+                    raise LexError("bad character literal", line)
+                tokens.append(Token("number", escapes[escape], line))
+                index += 4
+                continue
+            if index + 2 >= length or source[index + 2] != "'":
+                raise LexError("bad character literal", line)
+            tokens.append(Token("number", ord(source[index + 1]), line))
+            index += 3
+            continue
+        matched = False
+        for op in MULTI_CHAR_OPS:
+            if source.startswith(op, index):
+                tokens.append(Token(op, op, line))
+                index += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in SINGLE_CHAR_OPS:
+            tokens.append(Token(char, char, line))
+            index += 1
+            continue
+        raise LexError("unexpected character %r" % char, line)
+    return tokens

@@ -1,0 +1,200 @@
+"""MiniC abstract syntax tree node definitions.
+
+Plain ``__slots__`` classes rather than dataclasses: the compiler creates
+many nodes and only ever reads attributes positionally.
+"""
+
+
+class Node:
+    """Base class so isinstance checks can target all AST nodes."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line):
+        self.line = line
+
+
+# ------------------------------------------------------------- declarations
+
+
+class ProgramNode(Node):
+    """Top level: globals and functions in source order."""
+
+    __slots__ = ("declarations",)
+
+    def __init__(self, declarations):
+        super().__init__(1)
+        self.declarations = declarations
+
+
+class GlobalVar(Node):
+    """Global scalar or array: ``int g = 3;`` / ``int table[8] = {...};``"""
+
+    __slots__ = ("name", "array_size", "initializer")
+
+    def __init__(self, name, array_size, initializer, line):
+        super().__init__(line)
+        self.name = name
+        self.array_size = array_size  # None for scalars
+        self.initializer = initializer  # const int, list of const ints, or None
+
+
+class Function(Node):
+    """Function definition."""
+
+    __slots__ = ("name", "params", "body", "returns_value")
+
+    def __init__(self, name, params, body, returns_value, line):
+        super().__init__(line)
+        self.name = name
+        self.params = params  # list of (name, is_pointer)
+        self.body = body
+        self.returns_value = returns_value
+
+
+# --------------------------------------------------------------- statements
+
+
+class Block(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements, line):
+        super().__init__(line)
+        self.statements = statements
+
+
+class LocalVar(Node):
+    """Local declaration: scalar with optional init, or array (no init)."""
+
+    __slots__ = ("name", "array_size", "initializer")
+
+    def __init__(self, name, array_size, initializer, line):
+        super().__init__(line)
+        self.name = name
+        self.array_size = array_size
+        self.initializer = initializer
+
+
+class If(Node):
+    __slots__ = ("condition", "then_body", "else_body")
+
+    def __init__(self, condition, then_body, else_body, line):
+        super().__init__(line)
+        self.condition = condition
+        self.then_body = then_body
+        self.else_body = else_body
+
+
+class While(Node):
+    __slots__ = ("condition", "body")
+
+    def __init__(self, condition, body, line):
+        super().__init__(line)
+        self.condition = condition
+        self.body = body
+
+
+class For(Node):
+    __slots__ = ("init", "condition", "step", "body")
+
+    def __init__(self, init, condition, step, body, line):
+        super().__init__(line)
+        self.init = init
+        self.condition = condition
+        self.step = step
+        self.body = body
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line):
+        super().__init__(line)
+        self.expr = expr
+
+
+# -------------------------------------------------------------- expressions
+
+
+class Num(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class Var(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name, line):
+        super().__init__(line)
+        self.name = name
+
+
+class Index(Node):
+    """Array element access ``base[index]`` (base is an identifier)."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name, index, line):
+        super().__init__(line)
+        self.name = name
+        self.index = index
+
+
+class Assign(Node):
+    """Assignment; ``op`` is None for plain ``=`` or the compound operator
+    text ("+", "<<", ...) for ``+=`` and friends."""
+
+    __slots__ = ("target", "value", "op")
+
+    def __init__(self, target, value, op, line):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+        self.op = op
+
+
+class Binary(Node):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, line):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Unary(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Call(Node):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args, line):
+        super().__init__(line)
+        self.name = name
+        self.args = args

@@ -1,0 +1,417 @@
+"""MiniC recursive-descent parser."""
+
+from repro.minic.lexer import tokenize
+from repro.minic.nodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    Continue,
+    ExprStmt,
+    For,
+    Function,
+    GlobalVar,
+    If,
+    Index,
+    LocalVar,
+    Num,
+    ProgramNode,
+    Return,
+    Unary,
+    Var,
+    While,
+)
+
+
+class ParseError(ValueError):
+    """Raised for MiniC syntax errors."""
+
+    def __init__(self, message, line):
+        super().__init__("%s (line %d)" % (message, line))
+        self.line = line
+
+
+#: Binary operator precedence levels, loosest first.
+PRECEDENCE = (
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+)
+
+COMPOUND_ASSIGN = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+
+class Parser:
+    """Token-stream parser producing a :class:`ProgramNode`."""
+
+    def __init__(self, source):
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -------------------------------------------------------------- helpers
+
+    def _peek(self):
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _line(self):
+        token = self._peek()
+        return token.line if token else (self.tokens[-1].line if self.tokens else 1)
+
+    def _at(self, kind):
+        token = self._peek()
+        return token is not None and token.kind == kind
+
+    def _at_keyword(self, word):
+        token = self._peek()
+        return token is not None and token.kind == "keyword" and token.value == word
+
+    def _advance(self):
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self._line())
+        self.position += 1
+        return token
+
+    def _expect(self, kind):
+        token = self._peek()
+        if token is None or token.kind != kind:
+            found = token.kind if token else "end of input"
+            raise ParseError("expected %r, found %s" % (kind, found), self._line())
+        return self._advance()
+
+    def _expect_keyword(self, word):
+        token = self._peek()
+        if token is None or token.kind != "keyword" or token.value != word:
+            raise ParseError("expected keyword %r" % word, self._line())
+        return self._advance()
+
+    # ------------------------------------------------------------ top level
+
+    def parse(self):
+        """Parse the whole translation unit."""
+        declarations = []
+        while self._peek() is not None:
+            declarations.append(self._declaration())
+        return ProgramNode(declarations)
+
+    def _declaration(self):
+        line = self._line()
+        is_void = self._at_keyword("void")
+        if not is_void:
+            self._expect_keyword("int")
+        else:
+            self._advance()
+        pointer = False
+        if self._at("*"):
+            self._advance()
+            pointer = True
+        name = self._expect("ident").value
+        if self._at("("):
+            return self._function(name, returns_value=not is_void, line=line)
+        if is_void or pointer:
+            raise ParseError("global variables must have type int", line)
+        return self._global_var(name, line)
+
+    def _global_var(self, name, line):
+        array_size = None
+        initializer = None
+        if self._at("["):
+            self._advance()
+            array_size = self._const_expr()
+            self._expect("]")
+        if self._at("="):
+            self._advance()
+            if self._at("{"):
+                self._advance()
+                values = []
+                while not self._at("}"):
+                    values.append(self._const_expr())
+                    if self._at(","):
+                        self._advance()
+                self._expect("}")
+                initializer = values
+            else:
+                initializer = self._const_expr()
+        self._expect(";")
+        return GlobalVar(name, array_size, initializer, line)
+
+    def _const_expr(self):
+        """Constant expression: folded at parse time (literals, + - * <<)."""
+        expr = self._expression()
+        value = _fold(expr)
+        if value is None:
+            raise ParseError("expression is not constant", expr.line)
+        return value
+
+    def _function(self, name, returns_value, line):
+        self._expect("(")
+        params = []
+        if self._at_keyword("void"):
+            self._advance()
+        elif not self._at(")"):
+            while True:
+                self._expect_keyword("int")
+                is_pointer = False
+                if self._at("*"):
+                    self._advance()
+                    is_pointer = True
+                param_name = self._expect("ident").value
+                if self._at("["):
+                    self._advance()
+                    self._expect("]")
+                    is_pointer = True
+                params.append((param_name, is_pointer))
+                if self._at(","):
+                    self._advance()
+                    continue
+                break
+        self._expect(")")
+        body = self._block()
+        return Function(name, params, body, returns_value, line)
+
+    # ------------------------------------------------------------ statements
+
+    def _block(self):
+        line = self._line()
+        self._expect("{")
+        statements = []
+        while not self._at("}"):
+            statements.append(self._statement())
+        self._expect("}")
+        return Block(statements, line)
+
+    def _statement(self):
+        line = self._line()
+        if self._at("{"):
+            return self._block()
+        if self._at_keyword("int"):
+            return self._local_var(line)
+        if self._at_keyword("if"):
+            return self._if(line)
+        if self._at_keyword("while"):
+            return self._while(line)
+        if self._at_keyword("for"):
+            return self._for(line)
+        if self._at_keyword("return"):
+            self._advance()
+            value = None
+            if not self._at(";"):
+                value = self._expression()
+            self._expect(";")
+            return Return(value, line)
+        if self._at_keyword("break"):
+            self._advance()
+            self._expect(";")
+            return Break(line)
+        if self._at_keyword("continue"):
+            self._advance()
+            self._expect(";")
+            return Continue(line)
+        if self._at(";"):
+            self._advance()
+            return Block([], line)
+        expr = self._expression()
+        self._expect(";")
+        return ExprStmt(expr, line)
+
+    def _local_var(self, line):
+        self._expect_keyword("int")
+        name = self._expect("ident").value
+        array_size = None
+        initializer = None
+        if self._at("["):
+            self._advance()
+            array_size = self._const_expr()
+            self._expect("]")
+        elif self._at("="):
+            self._advance()
+            initializer = self._expression()
+        self._expect(";")
+        return LocalVar(name, array_size, initializer, line)
+
+    def _if(self, line):
+        self._expect_keyword("if")
+        self._expect("(")
+        condition = self._expression()
+        self._expect(")")
+        then_body = self._statement()
+        else_body = None
+        if self._at_keyword("else"):
+            self._advance()
+            else_body = self._statement()
+        return If(condition, then_body, else_body, line)
+
+    def _while(self, line):
+        self._expect_keyword("while")
+        self._expect("(")
+        condition = self._expression()
+        self._expect(")")
+        return While(condition, self._statement(), line)
+
+    def _for(self, line):
+        self._expect_keyword("for")
+        self._expect("(")
+        init = None
+        if self._at_keyword("int"):
+            init = self._local_var(self._line())
+        elif not self._at(";"):
+            init = ExprStmt(self._expression(), self._line())
+            self._expect(";")
+        else:
+            self._advance()
+        condition = None
+        if not self._at(";"):
+            condition = self._expression()
+        self._expect(";")
+        step = None
+        if not self._at(")"):
+            step = self._expression()
+        self._expect(")")
+        return For(init, condition, step, self._statement(), line)
+
+    # ----------------------------------------------------------- expressions
+
+    def _expression(self):
+        return self._assignment()
+
+    def _assignment(self):
+        left = self._binary(0)
+        token = self._peek()
+        if token is None:
+            return left
+        if token.kind == "=":
+            line = self._advance().line
+            value = self._assignment()
+            self._check_lvalue(left, line)
+            return Assign(left, value, None, line)
+        if token.kind in COMPOUND_ASSIGN:
+            line = self._advance().line
+            value = self._assignment()
+            self._check_lvalue(left, line)
+            return Assign(left, value, COMPOUND_ASSIGN[token.kind], line)
+        return left
+
+    @staticmethod
+    def _check_lvalue(node, line):
+        if not isinstance(node, (Var, Index)):
+            raise ParseError("assignment target is not an lvalue", line)
+
+    def _binary(self, level):
+        if level >= len(PRECEDENCE):
+            return self._unary()
+        operators = PRECEDENCE[level]
+        left = self._binary(level + 1)
+        while True:
+            token = self._peek()
+            if token is None or token.kind not in operators:
+                return left
+            line = self._advance().line
+            right = self._binary(level + 1)
+            left = Binary(token.kind, left, right, line)
+
+    def _unary(self):
+        token = self._peek()
+        if token is not None and token.kind in ("-", "!", "~"):
+            line = self._advance().line
+            operand = self._unary()
+            return Unary(token.kind, operand, line)
+        if token is not None and token.kind == "+":
+            self._advance()
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self):
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of expression", self._line())
+        if token.kind == "number":
+            self._advance()
+            return Num(token.value, token.line)
+        if token.kind == "(":
+            self._advance()
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        if token.kind == "ident":
+            name = self._advance().value
+            if self._at("("):
+                self._advance()
+                args = []
+                while not self._at(")"):
+                    args.append(self._expression())
+                    if self._at(","):
+                        self._advance()
+                self._expect(")")
+                return Call(name, args, token.line)
+            if self._at("["):
+                self._advance()
+                index = self._expression()
+                self._expect("]")
+                return Index(name, index, token.line)
+            return Var(name, token.line)
+        raise ParseError("unexpected token %r" % token.value, token.line)
+
+
+def _fold(node):
+    """Constant-fold an expression; returns an int or None."""
+    if isinstance(node, Num):
+        return node.value
+    if isinstance(node, Unary):
+        value = _fold(node.operand)
+        if value is None:
+            return None
+        if node.op == "-":
+            return -value
+        if node.op == "~":
+            return ~value
+        return int(not value)
+    if isinstance(node, Binary):
+        left = _fold(node.left)
+        right = _fold(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            return _APPLY[node.op](left, right)
+        except (KeyError, ZeroDivisionError):
+            return None
+    return None
+
+
+_APPLY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: int(a / b) if b else None,
+    "%": lambda a, b: a - int(a / b) * b if b else None,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+def parse(source):
+    """Parse MiniC ``source`` into a :class:`ProgramNode`."""
+    return Parser(source).parse()

@@ -1,0 +1,236 @@
+"""Per-stage switching-activity accounting (paper Section 2.9).
+
+For a dynamic trace, counts the bits each pipeline stage must read,
+write, operate on or latch — once for the conventional 32-bit machine
+and once for the significance-compressed machine — and reports the
+percent reduction per stage, exactly the quantity Tables 5 and 6 report:
+
+=============  ==========================================================
+column         what is counted
+=============  ==========================================================
+fetch          instruction bytes read from the I-cache (+1 extension bit)
+rf_read        register source operands (significant blocks + ext bits)
+rf_write       register results written back
+alu            blocks the significance ALU operates on (Cases 1-3)
+dcache_data    load/store data bytes plus line-fill traffic
+dcache_tag     tag-array bits compared per access
+pc             PC-increment block activity (increments and redirects)
+latches        inter-stage latch bits (instruction, operands, results)
+=============  ==========================================================
+
+Line fills are charged at the line size scaled by the running average
+compression ratio of accessed data words (the trace does not expose
+whole-line contents; the approximation is documented in DESIGN.md).
+"""
+
+from repro.core.extension import BYTE_SCHEME
+from repro.core.icompress import INSTRUCTION_EXT_BITS, InstructionCompressor
+from repro.core.pc import BlockSerialPC
+from repro.pipeline.siginfo import alu_activity
+from repro.sim.hierarchy import MemoryHierarchy
+
+STAGES = (
+    "fetch",
+    "rf_read",
+    "rf_write",
+    "alu",
+    "dcache_data",
+    "dcache_tag",
+    "pc",
+    "latches",
+)
+
+
+class ActivityReport:
+    """Baseline vs compressed bit counts per stage, with savings."""
+
+    def __init__(self, name, baseline, compressed, instructions):
+        self.name = name
+        self.baseline = dict(baseline)
+        self.compressed = dict(compressed)
+        self.instructions = instructions
+
+    def savings(self, stage):
+        """Fractional activity reduction for ``stage`` (0..1)."""
+        base = self.baseline.get(stage, 0)
+        if base == 0:
+            return 0.0
+        return 1.0 - self.compressed.get(stage, 0) / base
+
+    def savings_percent(self, stage):
+        """Reduction for ``stage`` in percent, as the paper's tables."""
+        return 100.0 * self.savings(stage)
+
+    def row(self):
+        """Savings percentages in table-column order."""
+        return [self.savings_percent(stage) for stage in STAGES]
+
+    def __repr__(self):
+        return "ActivityReport(%s: %s)" % (
+            self.name,
+            ", ".join("%s=%.1f%%" % (s, self.savings_percent(s)) for s in STAGES),
+        )
+
+
+def _average_report(name, reports):
+    """Arithmetic mean of savings across reports (the tables' AVG row)."""
+    baseline = {stage: 0 for stage in STAGES}
+    compressed = {stage: 0 for stage in STAGES}
+    for report in reports:
+        for stage in STAGES:
+            baseline[stage] += report.baseline[stage]
+            compressed[stage] += report.compressed[stage]
+    total = sum(report.instructions for report in reports)
+    return ActivityReport(name, baseline, compressed, total)
+
+
+class ActivityModel:
+    """Computes an :class:`ActivityReport` for a trace."""
+
+    def __init__(self, scheme=BYTE_SCHEME, compressor=None, hierarchy_config=None,
+                 pc_block_bits=None, latch_boundaries=4,
+                 ext_bits_in_memory=False):
+        self.scheme = scheme
+        self.compressor = compressor or InstructionCompressor()
+        self.hierarchy_config = hierarchy_config
+        # The PC incrementer uses the same block granularity as the data
+        # path unless explicitly overridden (Table 6 measures a 16-bit
+        # serial PC, Table 5 an 8-bit one).
+        self.pc_block_bits = pc_block_bits or scheme.block_bits
+        self.latch_boundaries = latch_boundaries
+        # Section 1 notes extension bits "could also be maintained in
+        # memory": with this enabled, L1 line fills arrive already
+        # compressed (significant bytes only) instead of paying the
+        # full-width transfer on the fill path.
+        self.ext_bits_in_memory = ext_bits_in_memory
+
+    def process(self, records, name="trace"):
+        """Count baseline and compressed activity over ``records``."""
+        scheme = self.scheme
+        block_bits = scheme.block_bits
+        ext_bits = scheme.num_ext_bits
+        hierarchy = MemoryHierarchy(self.hierarchy_config)
+        pc_model = BlockSerialPC(block_bits=self.pc_block_bits)
+        baseline = {stage: 0 for stage in STAGES}
+        compressed = {stage: 0 for stage in STAGES}
+        data_bits_accessed = 0
+        data_words_accessed = 0
+        count = 0
+        previous_pc = None
+        l1d = hierarchy.l1d.config
+        tag_bits = 32 - (l1d.num_sets.bit_length() - 1) - (
+            l1d.line_bytes.bit_length() - 1
+        )
+        for record in records:
+            count += 1
+            instr = record.instr
+
+            # ------------------------------------------------------ fetch
+            hierarchy.access_instruction(record.pc)
+            fetch_bits = self.compressor.fetch_bits(instr)
+            baseline["fetch"] += 32
+            compressed["fetch"] += fetch_bits
+
+            # ---------------------------------------------------- rf read
+            read_bits = 0
+            for value in record.read_values:
+                read_bits += scheme.significant_blocks(value) * block_bits + ext_bits
+            baseline["rf_read"] += 32 * len(record.read_values)
+            compressed["rf_read"] += read_bits
+
+            # --------------------------------------------------- rf write
+            if record.write_value is not None and instr.destination_register() is not None:
+                baseline["rf_write"] += 32
+                compressed["rf_write"] += (
+                    scheme.significant_blocks(record.write_value) * block_bits
+                    + ext_bits
+                )
+
+            # -------------------------------------------------------- alu
+            result = alu_activity(record, scheme)
+            if result is not None:
+                baseline["alu"] += 32
+                compressed["alu"] += result.bits_operated
+            elif record.alu_kind in ("mult", "div", "lui"):
+                baseline["alu"] += 32
+                a_blocks = scheme.significant_blocks(record.alu_a)
+                b_blocks = scheme.significant_blocks(record.alu_b)
+                compressed["alu"] += max(a_blocks, b_blocks) * block_bits
+
+            # ----------------------------------------------------- d-cache
+            mem_value_bits = 0
+            if record.mem_addr is not None:
+                access = hierarchy.access_data(
+                    record.mem_addr, is_store=record.mem_is_store
+                )
+                access_bits = 8 * record.mem_size
+                value_blocks = scheme.significant_blocks(record.mem_value)
+                value_bits = min(value_blocks * block_bits, access_bits) + ext_bits
+                baseline["dcache_data"] += 32  # word-wide data array access
+                compressed["dcache_data"] += value_bits
+                mem_value_bits = value_bits
+                data_bits_accessed += value_bits
+                data_words_accessed += 1
+                # Tag compare: insignificant tag bytes are replaced by an
+                # extension-bit comparison, but the physical array never
+                # exceeds the baseline tag width — savings are negligible
+                # for realistic (high) addresses, as the paper reports.
+                tag_value = record.mem_addr >> (32 - tag_bits)
+                tag_stored = scheme.significant_blocks(tag_value) * block_bits + ext_bits
+                baseline["dcache_tag"] += tag_bits
+                compressed["dcache_tag"] += min(tag_bits, tag_stored)
+                # Line fill traffic, scaled by the running compression ratio.
+                if access.l1_fill:
+                    line_bits = 8 * l1d.line_bytes
+                    baseline["dcache_data"] += line_bits
+                    if data_words_accessed:
+                        ratio = data_bits_accessed / (32.0 * data_words_accessed)
+                    else:
+                        ratio = 1.0
+                    fill_bits = int(line_bits * min(1.0, ratio))
+                    if self.ext_bits_in_memory:
+                        # Memory already stores the compressed form, so the
+                        # fill also skips regenerating the extension bits:
+                        # model a further reduction by the ext-bit share.
+                        words_per_line = l1d.line_bytes // 4
+                        fill_bits = max(
+                            fill_bits - words_per_line * ext_bits,
+                            words_per_line * (block_bits + ext_bits),
+                        )
+                    compressed["dcache_data"] += fill_bits
+
+            # --------------------------------------------------------- pc
+            baseline["pc"] += 32
+            if previous_pc is not None and record.pc != previous_pc + 4:
+                pc_model.redirect(record.pc)
+            else:
+                pc_model.increment()
+            previous_pc = record.pc
+
+            # ---------------------------------------------------- latches
+            result_bits = 0
+            if record.write_value is not None:
+                result_bits = (
+                    scheme.significant_blocks(record.write_value) * block_bits
+                    + ext_bits
+                )
+            latch_compressed = fetch_bits + read_bits + result_bits + mem_value_bits
+            latch_baseline = 32 + 32 * len(record.read_values)
+            if record.write_value is not None:
+                latch_baseline += 32
+            if record.mem_addr is not None:
+                latch_baseline += 32
+            baseline["latches"] += latch_baseline
+            compressed["latches"] += latch_compressed
+
+        compressed["pc"] = pc_model.bits_operated
+        return ActivityReport(name, baseline, compressed, count)
+
+    def suite_reports(self, workloads, scale=1):
+        """Per-workload reports plus the AVG row, like Tables 5 and 6."""
+        reports = []
+        for workload in workloads:
+            records = workload.trace(scale=scale)
+            reports.append(self.process(records, name=workload.name))
+        average = _average_report("AVG", reports)
+        return reports, average

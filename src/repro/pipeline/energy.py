@@ -1,0 +1,119 @@
+"""First-order dynamic-energy model on top of the activity accounting.
+
+The paper stops at activity: "The final quantification of energy
+requires a further detailed circuit-level analysis of the
+implementations" (Section 7).  This module supplies the standard
+first-order step the paper points to: dynamic energy is proportional to
+switched capacitance, so each stage's bit-activity is weighted by a
+relative per-bit capacitance and summed, giving energy-per-instruction
+and energy-delay estimates that can compare organizations.
+
+The default weights follow the usual architecture-level ratios (SRAM
+arrays cost more per bit than latches; the cache data arrays dominate):
+they are deliberately coarse and fully overridable — the *relative*
+picture between organizations is the product, not absolute joules.
+"""
+
+from repro.pipeline.activity import STAGES
+
+#: Relative switched capacitance per bit of activity, by stage.  Cache
+#: arrays ~3x register file ~1.5x ALU ~= latches; the PC incrementer is
+#: plain logic.  Sources: the usual CACTI-style orderings; absolute
+#: scale is arbitrary.
+DEFAULT_WEIGHTS = {
+    "fetch": 3.0,        # I-cache data array read per bit
+    "rf_read": 1.5,
+    "rf_write": 1.5,
+    "alu": 1.0,
+    "dcache_data": 3.0,
+    "dcache_tag": 2.0,
+    "pc": 0.8,
+    "latches": 0.6,
+}
+
+
+class EnergyEstimate:
+    """Energy summary for one (trace, machine) pair."""
+
+    def __init__(self, name, baseline_energy, compressed_energy, instructions, cpi):
+        self.name = name
+        self.baseline_energy = baseline_energy
+        self.compressed_energy = compressed_energy
+        self.instructions = instructions
+        self.cpi = cpi
+
+    @property
+    def energy_savings(self):
+        """Fractional dynamic-energy reduction vs the 32-bit machine."""
+        if self.baseline_energy == 0:
+            return 0.0
+        return 1.0 - self.compressed_energy / self.baseline_energy
+
+    def energy_per_instruction(self, compressed=True):
+        """Relative energy units per instruction."""
+        total = self.compressed_energy if compressed else self.baseline_energy
+        return total / self.instructions if self.instructions else 0.0
+
+    def energy_delay_product(self, baseline_cpi):
+        """Relative EDP vs a baseline machine with ``baseline_cpi``.
+
+        Returns compressed-machine EDP divided by baseline-machine EDP:
+        below 1.0 means the organization wins on energy-delay despite
+        its CPI overhead.
+        """
+        if self.baseline_energy == 0 or baseline_cpi == 0:
+            return 0.0
+        compressed_edp = self.compressed_energy * self.cpi
+        baseline_edp = self.baseline_energy * baseline_cpi
+        return compressed_edp / baseline_edp
+
+    def __repr__(self):
+        return "EnergyEstimate(%s: %.1f%% saved, CPI %.3f)" % (
+            self.name,
+            100 * self.energy_savings,
+            self.cpi,
+        )
+
+
+class EnergyModel:
+    """Weights an :class:`~repro.pipeline.activity.ActivityReport` into energy."""
+
+    def __init__(self, weights=None):
+        self.weights = dict(DEFAULT_WEIGHTS)
+        if weights:
+            unknown = set(weights) - set(STAGES)
+            if unknown:
+                raise ValueError("unknown stages in weights: %s" % sorted(unknown))
+            self.weights.update(weights)
+
+    def weigh(self, report, latch_scale=1.0):
+        """Return (baseline_energy, compressed_energy) for a report.
+
+        ``latch_scale`` multiplies the compressed machine's latch
+        activity: organizations with more inter-stage boundaries (the
+        byte-parallel skewed pipeline has 7 vs the baseline's 4) latch
+        the same bits more often — the disadvantage Section 6 calls out.
+        """
+        baseline = sum(
+            self.weights[stage] * report.baseline[stage] for stage in STAGES
+        )
+        compressed = sum(
+            self.weights[stage] * report.compressed[stage]
+            for stage in STAGES
+            if stage != "latches"
+        )
+        compressed += (
+            self.weights["latches"] * report.compressed["latches"] * latch_scale
+        )
+        return baseline, compressed
+
+    def estimate(self, report, pipeline_result, latch_scale=1.0):
+        """Combine an activity report with a timing result."""
+        baseline_energy, compressed_energy = self.weigh(report, latch_scale)
+        return EnergyEstimate(
+            pipeline_result.name,
+            baseline_energy,
+            compressed_energy,
+            pipeline_result.instructions,
+            pipeline_result.cpi,
+        )

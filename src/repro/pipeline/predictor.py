@@ -1,0 +1,70 @@
+"""Branch prediction — the paper's Section 3 future-work item.
+
+The paper's machines stall fetch until every branch resolves, "in
+keeping with some very low power embedded processors, although the trend
+is toward implementing branch prediction.  The implications of branch
+prediction will be the subject of future study."  This module provides
+that study: a classic bimodal predictor with an idealized BTB that can
+be attached to any organization, and the ablation comparing CPI with and
+without it.
+
+With prediction, a correctly predicted control instruction costs no
+fetch bubble; a misprediction redirects fetch at the organization's
+resolution time, exactly like the unpredicted machine.
+"""
+
+
+class BimodalPredictor:
+    """2-bit saturating-counter direction predictor with an ideal BTB.
+
+    ``size`` must be a power of two.  Jumps (always taken, target known)
+    predict correctly by construction, as an ideal BTB would.
+    """
+
+    def __init__(self, size=512):
+        if size <= 0 or size & (size - 1):
+            raise ValueError("predictor size must be a power of two")
+        self.size = size
+        self._counters = [1] * size  # weakly not-taken
+        self.lookups = 0
+        self.correct = 0
+
+    def _index(self, pc):
+        return (pc >> 2) & (self.size - 1)
+
+    def predict(self, record):
+        """Predict a control record; returns True when prediction is right."""
+        self.lookups += 1
+        if record.instr.is_jump:
+            # Direct and register jumps hit the ideal BTB.
+            self.correct += 1
+            return True
+        index = self._index(record.pc)
+        prediction = self._counters[index] >= 2
+        outcome = record.taken
+        if prediction == outcome:
+            self.correct += 1
+            hit = True
+        else:
+            hit = False
+        if outcome:
+            if self._counters[index] < 3:
+                self._counters[index] += 1
+        else:
+            if self._counters[index] > 0:
+                self._counters[index] -= 1
+        return hit
+
+    @property
+    def accuracy(self):
+        """Fraction of correctly predicted control instructions."""
+        return self.correct / self.lookups if self.lookups else 0.0
+
+
+class AlwaysStallPredictor:
+    """Null object matching the paper's stall-until-resolve baseline."""
+
+    accuracy = 0.0
+
+    def predict(self, record):
+        return False

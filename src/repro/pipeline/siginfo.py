@@ -1,0 +1,102 @@
+"""Per-instruction significance summary consumed by the timing models.
+
+Computing significance data (fetch bytes, operand/result blocks, ALU
+occupancy) is common to every organization, so it is done once per trace
+record and shared.
+"""
+
+from repro.core.alu import (
+    significance_add,
+    significance_compare,
+    significance_logical,
+    significance_shift,
+)
+from repro.core.extension import BYTE_SCHEME
+from repro.core.icompress import InstructionCompressor
+
+
+class SigInfo:
+    """Significance facts about one executed instruction."""
+
+    __slots__ = (
+        "fetch_bytes",
+        "src_blocks",
+        "result_blocks",
+        "mem_blocks",
+        "alu_blocks",
+        "alu_result",
+        "max_src_blocks",
+    )
+
+    def __init__(self, fetch_bytes, src_blocks, result_blocks, mem_blocks,
+                 alu_blocks, alu_result):
+        self.fetch_bytes = fetch_bytes
+        self.src_blocks = src_blocks
+        self.result_blocks = result_blocks
+        self.mem_blocks = mem_blocks
+        self.alu_blocks = alu_blocks
+        self.alu_result = alu_result
+        self.max_src_blocks = max(src_blocks) if src_blocks else 0
+
+
+def alu_activity(record, scheme=BYTE_SCHEME):
+    """Run the significance ALU for a trace record; None if no ALU op."""
+    kind = record.alu_kind
+    if kind is None:
+        return None
+    a = record.alu_a
+    b = record.alu_b
+    if kind == "add":
+        return significance_add(a, b, scheme=scheme)
+    if kind == "sub":
+        return significance_add(a, b, scheme=scheme, subtract=True)
+    if kind == "slt":
+        return significance_compare(a, b, signed=True, scheme=scheme)
+    if kind == "sltu":
+        return significance_compare(a, b, signed=False, scheme=scheme)
+    if kind in ("and", "or", "xor", "nor"):
+        return significance_logical(a, b, kind, scheme=scheme)
+    if kind in ("sll", "srl", "sra"):
+        return significance_shift(a, b, kind, scheme=scheme)
+    if kind in ("mult", "div", "lui"):
+        # Iterative multiplier/divider and the LUI mover are modelled as
+        # touching the significant blocks of both operands (at least one).
+        return None
+    return None
+
+
+def compute_siginfo(record, scheme=BYTE_SCHEME, compressor=None):
+    """Build the :class:`SigInfo` for one trace record."""
+    compressor = compressor or _DEFAULT_COMPRESSOR
+    fetch_bytes = compressor.bytes_fetched(record.instr)
+    src_blocks = tuple(
+        scheme.significant_blocks(value) for value in record.read_values
+    )
+    result_blocks = (
+        scheme.significant_blocks(record.write_value)
+        if record.write_value is not None
+        else 0
+    )
+    if record.mem_addr is not None:
+        block_bytes = scheme.block_bits // 8
+        value_blocks = scheme.significant_blocks(record.mem_value)
+        size_blocks = max(1, record.mem_size // block_bytes)
+        mem_blocks = min(value_blocks, size_blocks)
+    else:
+        mem_blocks = 0
+    result = alu_activity(record, scheme)
+    if result is not None:
+        alu_blocks = max(1, result.blocks_operated)
+    elif record.alu_kind in ("mult", "div"):
+        a_blocks = scheme.significant_blocks(record.alu_a)
+        b_blocks = scheme.significant_blocks(record.alu_b)
+        alu_blocks = max(a_blocks, b_blocks)
+    elif record.alu_kind == "lui":
+        alu_blocks = max(1, result_blocks)
+    else:
+        alu_blocks = 0
+    return SigInfo(fetch_bytes, src_blocks, result_blocks, mem_blocks,
+                   alu_blocks, result)
+
+
+_DEFAULT_COMPRESSOR = InstructionCompressor()

@@ -1,0 +1,103 @@
+"""Parameterized set-associative cache model with LRU replacement.
+
+Write policy is write-back, write-allocate (SimpleScalar's default, which
+the paper's framework builds on).  The model tracks the statistics the
+activity study needs: hits, misses, line fills and dirty writebacks.
+"""
+
+
+class CacheConfig:
+    """Geometry and identification of one cache level."""
+
+    def __init__(self, name, size_bytes, assoc, line_bytes):
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError("cache size must be a multiple of assoc * line size")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+
+    def __repr__(self):
+        return "CacheConfig(%s: %dB, %d-way, %dB lines)" % (
+            self.name,
+            self.size_bytes,
+            self.assoc,
+            self.line_bytes,
+        )
+
+
+class Cache:
+    """Set-associative LRU cache tracking hit/miss/fill/writeback counts."""
+
+    def __init__(self, config):
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        # Each set is an ordered list of (line_number, dirty); index 0 = MRU.
+        self._sets = [[] for _ in range(config.num_sets)]
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.fills = 0
+        self.writebacks = 0
+
+    def access(self, address, is_write=False):
+        """Access ``address``; returns (hit, victim_writeback_address).
+
+        On a miss the line is allocated (write-allocate).  If a dirty
+        victim was evicted, its base address is returned (else None) so
+        callers can model writeback traffic to the next level.
+        """
+        line_number = address >> self._line_shift
+        set_index = line_number & self._set_mask
+        ways = self._sets[set_index]
+        self.accesses += 1
+        for position, (way_line, dirty) in enumerate(ways):
+            if way_line == line_number:
+                self.hits += 1
+                ways.pop(position)
+                ways.insert(0, (line_number, dirty or is_write))
+                return True, None
+        self.misses += 1
+        self.fills += 1
+        victim_address = None
+        if len(ways) >= self.config.assoc:
+            victim_line, victim_dirty = ways.pop()
+            if victim_dirty:
+                victim_address = victim_line << self._line_shift
+                self.writebacks += 1
+        ways.insert(0, (line_number, is_write))
+        return False, victim_address
+
+    def contains(self, address):
+        """True if the line holding ``address`` is resident (no side effects)."""
+        line_number = address >> self._line_shift
+        set_index = line_number & self._set_mask
+        return any(way_line == line_number for way_line, _dirty in self._sets[set_index])
+
+    @property
+    def hit_rate(self):
+        """Fraction of accesses that hit (0 when no accesses yet)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def stats(self):
+        """Dict of counters for reports."""
+        return {
+            "name": self.config.name,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "writebacks": self.writebacks,
+            "hit_rate": self.hit_rate,
+        }
+
+    def reset_stats(self):
+        """Zero the counters without flushing cache contents."""
+        self.accesses = self.hits = self.misses = 0
+        self.fills = self.writebacks = 0

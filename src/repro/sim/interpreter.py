@@ -1,0 +1,413 @@
+"""Functional interpreter for the MIPS subset.
+
+Executes decoded instructions against :class:`~repro.sim.machine.Machine`
+and :class:`~repro.sim.memory.Memory`, optionally producing a
+:class:`~repro.sim.trace.TraceRecord` per instruction.  Branch semantics
+follow the paper's simplified model: no delay slots, the branch decision
+redirects the PC immediately (the paper's pipeline stalls fetch until the
+branch resolves, so delay slots would not change any measured quantity).
+
+Syscall ABI (register $v0 selects):
+
+====  =============================  ===========================
+v0    effect                         arguments
+====  =============================  ===========================
+1     print signed integer           $a0
+4     print NUL-terminated string    $a0 = address
+10    exit                           —
+11    print single character         $a0
+====  =============================  ===========================
+"""
+
+from repro.isa.encoding import decode
+from repro.isa.opcodes import Funct, Opcode
+from repro.sim.trace import TraceRecord
+
+#: Jumping to address 0 (the initial $ra) halts the simulation; this lets
+#: a bare ``main`` simply ``jr $ra`` without an explicit exit syscall.
+HALT_ADDRESS = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised for runaway programs, bad syscalls, or arithmetic traps."""
+
+
+class Interpreter:
+    """Functional executor with optional per-instruction tracing."""
+
+    def __init__(self, memory, machine, trace=False):
+        self.memory = memory
+        self.machine = machine
+        self.trace = trace
+        self.trace_records = []
+        self.output = []
+        self.halted = False
+        self.instructions_executed = 0
+        self._decode_cache = {}
+
+    # ------------------------------------------------------------ execution
+
+    def run(self, max_instructions=2_000_000):
+        """Run until exit or ``max_instructions``; returns instruction count."""
+        while not self.halted:
+            if self.instructions_executed >= max_instructions:
+                raise SimulationError(
+                    "instruction limit exceeded (%d) at pc=0x%08x"
+                    % (max_instructions, self.machine.pc)
+                )
+            self.step()
+        return self.instructions_executed
+
+    def step(self):
+        """Execute one instruction; returns its TraceRecord (or None)."""
+        machine = self.machine
+        pc = machine.pc
+        if pc == HALT_ADDRESS:
+            self.halted = True
+            return None
+        instr = self._decode_cache.get(pc)
+        if instr is None:
+            instr = decode(self.memory.read_word(pc))
+            self._decode_cache[pc] = instr
+        record = TraceRecord(pc, instr) if self.trace else None
+        next_pc = self._execute(instr, pc, record)
+        machine.pc = next_pc
+        self.instructions_executed += 1
+        if record is not None:
+            record.next_pc = next_pc
+            self.trace_records.append(record)
+        if next_pc == HALT_ADDRESS:
+            self.halted = True
+        return record
+
+    @property
+    def output_text(self):
+        """All syscall output concatenated."""
+        return "".join(self.output)
+
+    # ------------------------------------------------------------- internal
+
+    def _execute(self, instr, pc, record):
+        machine = self.machine
+        opcode = instr.opcode
+        if record is not None:
+            record.read_values = tuple(
+                machine.read(reg) for reg in instr.source_registers()
+            )
+        if opcode == Opcode.SPECIAL:
+            return self._execute_special(instr, pc, record)
+        if opcode in _IMM_HANDLERS:
+            value, kind, a, b = _IMM_HANDLERS[opcode](machine, instr)
+            machine.write(instr.rt, value)
+            if record is not None:
+                record.write_value = value & 0xFFFFFFFF
+                record.alu_kind = kind
+                record.alu_a = a
+                record.alu_b = b
+            return pc + 4
+        if opcode in _LOAD_HANDLERS:
+            return self._execute_load(instr, pc, record)
+        if opcode in _STORE_HANDLERS:
+            return self._execute_store(instr, pc, record)
+        if opcode in _BRANCH_OPS:
+            return self._execute_branch(instr, pc, record)
+        if opcode == Opcode.J:
+            target = instr.jump_target(pc)
+            if record is not None:
+                record.taken = True
+            return target
+        if opcode == Opcode.JAL:
+            target = instr.jump_target(pc)
+            machine.write(31, pc + 4)
+            if record is not None:
+                record.taken = True
+                record.write_value = (pc + 4) & 0xFFFFFFFF
+            return target
+        raise SimulationError("unhandled opcode %s at 0x%08x" % (opcode, pc))
+
+    def _execute_special(self, instr, pc, record):
+        machine = self.machine
+        funct = instr.funct
+        if funct in _R_HANDLERS:
+            value, kind, a, b = _R_HANDLERS[funct](machine, instr)
+            machine.write(instr.rd, value)
+            if record is not None:
+                record.write_value = value & 0xFFFFFFFF
+                record.alu_kind = kind
+                record.alu_a = a
+                record.alu_b = b
+            return pc + 4
+        if funct == Funct.JR:
+            if record is not None:
+                record.taken = True
+            return machine.read(instr.rs)
+        if funct == Funct.JALR:
+            target = machine.read(instr.rs)
+            machine.write(instr.rd, pc + 4)
+            if record is not None:
+                record.taken = True
+                record.write_value = (pc + 4) & 0xFFFFFFFF
+            return target
+        if funct in (Funct.MULT, Funct.MULTU):
+            a = machine.read(instr.rs)
+            b = machine.read(instr.rt)
+            if funct == Funct.MULT:
+                product = machine.read_signed(instr.rs) * machine.read_signed(instr.rt)
+            else:
+                product = a * b
+            machine.lo = product & 0xFFFFFFFF
+            machine.hi = (product >> 32) & 0xFFFFFFFF
+            if record is not None:
+                record.alu_kind = "mult"
+                record.alu_a = a
+                record.alu_b = b
+            return pc + 4
+        if funct in (Funct.DIV, Funct.DIVU):
+            return self._execute_div(instr, pc, record, signed=funct == Funct.DIV)
+        if funct == Funct.MFHI:
+            machine.write(instr.rd, machine.hi)
+            if record is not None:
+                record.write_value = machine.hi
+            return pc + 4
+        if funct == Funct.MFLO:
+            machine.write(instr.rd, machine.lo)
+            if record is not None:
+                record.write_value = machine.lo
+            return pc + 4
+        if funct == Funct.MTHI:
+            machine.hi = machine.read(instr.rs)
+            return pc + 4
+        if funct == Funct.MTLO:
+            machine.lo = machine.read(instr.rs)
+            return pc + 4
+        if funct == Funct.SYSCALL:
+            return self._execute_syscall(pc)
+        if funct == Funct.BREAK:
+            raise SimulationError("break at 0x%08x" % pc)
+        raise SimulationError("unhandled funct %s at 0x%08x" % (funct, pc))
+
+    def _execute_div(self, instr, pc, record, signed):
+        machine = self.machine
+        a_raw = machine.read(instr.rs)
+        b_raw = machine.read(instr.rt)
+        if b_raw == 0:
+            raise SimulationError("division by zero at 0x%08x" % pc)
+        if signed:
+            a = machine.read_signed(instr.rs)
+            b = machine.read_signed(instr.rt)
+            quotient = int(a / b)  # C-style truncation toward zero
+            remainder = a - quotient * b
+        else:
+            quotient = a_raw // b_raw
+            remainder = a_raw % b_raw
+        machine.lo = quotient & 0xFFFFFFFF
+        machine.hi = remainder & 0xFFFFFFFF
+        if record is not None:
+            record.alu_kind = "div"
+            record.alu_a = a_raw
+            record.alu_b = b_raw
+        return pc + 4
+
+    def _execute_load(self, instr, pc, record):
+        machine = self.machine
+        address = (machine.read(instr.rs) + instr.imm) & 0xFFFFFFFF
+        size, signed = _LOAD_HANDLERS[instr.opcode]
+        if size == 1:
+            value = self.memory.read_byte(address)
+            if signed and value & 0x80:
+                value |= 0xFFFFFF00
+        elif size == 2:
+            value = self.memory.read_half(address)
+            if signed and value & 0x8000:
+                value |= 0xFFFF0000
+        else:
+            value = self.memory.read_word(address)
+        machine.write(instr.rt, value)
+        if record is not None:
+            record.write_value = value & 0xFFFFFFFF
+            record.alu_kind = "add"
+            record.alu_a = machine.read(instr.rs)
+            record.alu_b = instr.imm & 0xFFFFFFFF
+            record.mem_addr = address
+            record.mem_size = size
+            record.mem_value = value & 0xFFFFFFFF
+        return pc + 4
+
+    def _execute_store(self, instr, pc, record):
+        machine = self.machine
+        address = (machine.read(instr.rs) + instr.imm) & 0xFFFFFFFF
+        value = machine.read(instr.rt)
+        size = _STORE_HANDLERS[instr.opcode]
+        if size == 1:
+            self.memory.write_byte(address, value)
+        elif size == 2:
+            self.memory.write_half(address, value)
+        else:
+            self.memory.write_word(address, value)
+        if record is not None:
+            record.alu_kind = "add"
+            record.alu_a = machine.read(instr.rs)
+            record.alu_b = instr.imm & 0xFFFFFFFF
+            record.mem_addr = address
+            record.mem_size = size
+            record.mem_value = value & ((1 << (8 * size)) - 1)
+            record.mem_is_store = True
+        return pc + 4
+
+    def _execute_branch(self, instr, pc, record):
+        machine = self.machine
+        opcode = instr.opcode
+        rs_value = machine.read_signed(instr.rs)
+        if opcode == Opcode.BEQ:
+            taken = machine.read(instr.rs) == machine.read(instr.rt)
+        elif opcode == Opcode.BNE:
+            taken = machine.read(instr.rs) != machine.read(instr.rt)
+        elif opcode == Opcode.BLEZ:
+            taken = rs_value <= 0
+        elif opcode == Opcode.BGTZ:
+            taken = rs_value > 0
+        else:  # REGIMM: bltz/bgez
+            taken = rs_value < 0 if instr.rt == 0 else rs_value >= 0
+        if record is not None:
+            record.taken = taken
+            record.alu_kind = "sub"
+            record.alu_a = machine.read(instr.rs)
+            record.alu_b = (
+                machine.read(instr.rt)
+                if opcode in (Opcode.BEQ, Opcode.BNE)
+                else 0
+            )
+        return instr.branch_target(pc) if taken else pc + 4
+
+    def _execute_syscall(self, pc):
+        machine = self.machine
+        selector = machine.read(2)  # $v0
+        arg = machine.read(4)  # $a0
+        if selector == 1:
+            signed = arg - 0x100000000 if arg & 0x80000000 else arg
+            self.output.append(str(signed))
+        elif selector == 4:
+            self.output.append(self.memory.read_cstring(arg))
+        elif selector == 10:
+            self.halted = True
+            return pc  # pc is irrelevant once halted
+        elif selector == 11:
+            self.output.append(chr(arg & 0xFF))
+        else:
+            raise SimulationError(
+                "unknown syscall %d at 0x%08x" % (selector, pc)
+            )
+        return pc + 4
+
+
+# --------------------------------------------------------- handler tables
+# Each handler returns (value, alu_kind, operand_a, operand_b).
+
+
+def _signed(value):
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+_R_HANDLERS = {
+    Funct.ADD: lambda m, i: (
+        (m.read(i.rs) + m.read(i.rt)) & 0xFFFFFFFF, "add", m.read(i.rs), m.read(i.rt),
+    ),
+    Funct.ADDU: lambda m, i: (
+        (m.read(i.rs) + m.read(i.rt)) & 0xFFFFFFFF, "add", m.read(i.rs), m.read(i.rt),
+    ),
+    Funct.SUB: lambda m, i: (
+        (m.read(i.rs) - m.read(i.rt)) & 0xFFFFFFFF, "sub", m.read(i.rs), m.read(i.rt),
+    ),
+    Funct.SUBU: lambda m, i: (
+        (m.read(i.rs) - m.read(i.rt)) & 0xFFFFFFFF, "sub", m.read(i.rs), m.read(i.rt),
+    ),
+    Funct.AND: lambda m, i: (
+        m.read(i.rs) & m.read(i.rt), "and", m.read(i.rs), m.read(i.rt),
+    ),
+    Funct.OR: lambda m, i: (
+        m.read(i.rs) | m.read(i.rt), "or", m.read(i.rs), m.read(i.rt),
+    ),
+    Funct.XOR: lambda m, i: (
+        m.read(i.rs) ^ m.read(i.rt), "xor", m.read(i.rs), m.read(i.rt),
+    ),
+    Funct.NOR: lambda m, i: (
+        ~(m.read(i.rs) | m.read(i.rt)) & 0xFFFFFFFF, "nor", m.read(i.rs), m.read(i.rt),
+    ),
+    Funct.SLT: lambda m, i: (
+        int(m.read_signed(i.rs) < m.read_signed(i.rt)), "slt",
+        m.read(i.rs), m.read(i.rt),
+    ),
+    Funct.SLTU: lambda m, i: (
+        int(m.read(i.rs) < m.read(i.rt)), "sltu", m.read(i.rs), m.read(i.rt),
+    ),
+    Funct.SLL: lambda m, i: (
+        (m.read(i.rt) << i.shamt) & 0xFFFFFFFF, "sll", m.read(i.rt), i.shamt,
+    ),
+    Funct.SRL: lambda m, i: (
+        m.read(i.rt) >> i.shamt, "srl", m.read(i.rt), i.shamt,
+    ),
+    Funct.SRA: lambda m, i: (
+        (_signed(m.read(i.rt)) >> i.shamt) & 0xFFFFFFFF, "sra", m.read(i.rt), i.shamt,
+    ),
+    Funct.SLLV: lambda m, i: (
+        (m.read(i.rt) << (m.read(i.rs) & 31)) & 0xFFFFFFFF, "sll",
+        m.read(i.rt), m.read(i.rs) & 31,
+    ),
+    Funct.SRLV: lambda m, i: (
+        m.read(i.rt) >> (m.read(i.rs) & 31), "srl", m.read(i.rt), m.read(i.rs) & 31,
+    ),
+    Funct.SRAV: lambda m, i: (
+        (_signed(m.read(i.rt)) >> (m.read(i.rs) & 31)) & 0xFFFFFFFF, "sra",
+        m.read(i.rt), m.read(i.rs) & 31,
+    ),
+}
+
+_IMM_HANDLERS = {
+    Opcode.ADDI: lambda m, i: (
+        (m.read(i.rs) + i.imm) & 0xFFFFFFFF, "add", m.read(i.rs), i.imm & 0xFFFFFFFF,
+    ),
+    Opcode.ADDIU: lambda m, i: (
+        (m.read(i.rs) + i.imm) & 0xFFFFFFFF, "add", m.read(i.rs), i.imm & 0xFFFFFFFF,
+    ),
+    Opcode.SLTI: lambda m, i: (
+        int(m.read_signed(i.rs) < i.imm), "slt", m.read(i.rs), i.imm & 0xFFFFFFFF,
+    ),
+    Opcode.SLTIU: lambda m, i: (
+        int(m.read(i.rs) < (i.imm & 0xFFFFFFFF)), "sltu",
+        m.read(i.rs), i.imm & 0xFFFFFFFF,
+    ),
+    Opcode.ANDI: lambda m, i: (
+        m.read(i.rs) & i.imm_u, "and", m.read(i.rs), i.imm_u,
+    ),
+    Opcode.ORI: lambda m, i: (
+        m.read(i.rs) | i.imm_u, "or", m.read(i.rs), i.imm_u,
+    ),
+    Opcode.XORI: lambda m, i: (
+        m.read(i.rs) ^ i.imm_u, "xor", m.read(i.rs), i.imm_u,
+    ),
+    Opcode.LUI: lambda m, i: (
+        (i.imm_u << 16) & 0xFFFFFFFF, "lui", i.imm_u, 16,
+    ),
+}
+
+_LOAD_HANDLERS = {
+    Opcode.LB: (1, True),
+    Opcode.LBU: (1, False),
+    Opcode.LH: (2, True),
+    Opcode.LHU: (2, False),
+    Opcode.LW: (4, False),
+}
+
+_STORE_HANDLERS = {
+    Opcode.SB: 1,
+    Opcode.SH: 2,
+    Opcode.SW: 4,
+}
+
+_BRANCH_OPS = (
+    Opcode.BEQ,
+    Opcode.BNE,
+    Opcode.BLEZ,
+    Opcode.BGTZ,
+    Opcode.REGIMM,
+)

@@ -1,0 +1,20 @@
+"""Program loading: map an assembled image into simulator memory."""
+
+from repro.sim.machine import Machine
+from repro.sim.memory import Memory
+
+
+def load_program(program, memory=None):
+    """Load ``program`` into ``memory`` and return (memory, machine).
+
+    The machine starts at the program entry with the ABI stack pointer;
+    the return-address register is left at 0, which the interpreter
+    treats as the exit sentinel if the program returns from its entry
+    function without an exit syscall.
+    """
+    memory = memory if memory is not None else Memory()
+    for index, word in enumerate(program.text_words):
+        memory.write_word(program.text_base + 4 * index, word)
+    memory.write_bytes(program.data_base, program.data_bytes)
+    machine = Machine(pc=program.entry)
+    return memory, machine

@@ -1,0 +1,46 @@
+"""Architectural state: 32 GPRs, HI/LO, and the PC."""
+
+from repro.asm.program import STACK_TOP
+from repro.isa.registers import NUM_REGISTERS, SP
+
+
+class Machine:
+    """Register file, HI/LO pair and program counter.
+
+    Register 0 reads as zero and silently discards writes, as in MIPS.
+    """
+
+    __slots__ = ("regs", "hi", "lo", "pc")
+
+    def __init__(self, pc=0, sp=STACK_TOP):
+        self.regs = [0] * NUM_REGISTERS
+        self.regs[SP] = sp
+        self.hi = 0
+        self.lo = 0
+        self.pc = pc
+
+    def read(self, number):
+        """Read GPR ``number`` (register 0 is always 0)."""
+        return self.regs[number]
+
+    def write(self, number, value):
+        """Write GPR ``number``, masking to 32 bits; writes to $0 vanish."""
+        if number != 0:
+            self.regs[number] = value & 0xFFFFFFFF
+
+    def read_signed(self, number):
+        """Read GPR ``number`` as a signed 32-bit value."""
+        value = self.regs[number]
+        return value - 0x100000000 if value & 0x80000000 else value
+
+    def snapshot(self):
+        """Return a copyable dict of the full architectural state."""
+        return {
+            "regs": list(self.regs),
+            "hi": self.hi,
+            "lo": self.lo,
+            "pc": self.pc,
+        }
+
+    def __repr__(self):
+        return "Machine(pc=0x%08x)" % self.pc

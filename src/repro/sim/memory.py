@@ -1,0 +1,116 @@
+"""Sparse byte-addressable little-endian memory.
+
+Pages are allocated lazily in 4KB chunks, so the simulator can host the
+paper's memory map (text at 0x00400000, data at 0x10000000, stack near
+0x7FFFF000) without materializing gigabytes.  All accesses are
+little-endian, consistent with byte index 0 being the least significant
+byte throughout the significance-compression core.
+"""
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryError_(ValueError):
+    """Raised on invalid (misaligned) memory accesses."""
+
+
+class Memory:
+    """Sparse paged memory with word/half/byte accessors."""
+
+    def __init__(self):
+        self._pages = {}
+
+    def _page(self, address):
+        page_number = address >> PAGE_BITS
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    # ---------------------------------------------------------------- read
+
+    def read_byte(self, address):
+        """Read an unsigned byte."""
+        page = self._pages.get(address >> PAGE_BITS)
+        if page is None:
+            return 0
+        return page[address & PAGE_MASK]
+
+    def read_half(self, address):
+        """Read an unsigned little-endian halfword (must be 2-aligned)."""
+        if address & 1:
+            raise MemoryError_("unaligned halfword read at 0x%08x" % address)
+        return self.read_byte(address) | (self.read_byte(address + 1) << 8)
+
+    def read_word(self, address):
+        """Read an unsigned little-endian word (must be 4-aligned)."""
+        if address & 3:
+            raise MemoryError_("unaligned word read at 0x%08x" % address)
+        offset = address & PAGE_MASK
+        page = self._pages.get(address >> PAGE_BITS)
+        if page is None:
+            return 0
+        if offset <= PAGE_SIZE - 4:
+            return int.from_bytes(page[offset : offset + 4], "little")
+        return (
+            self.read_byte(address)
+            | (self.read_byte(address + 1) << 8)
+            | (self.read_byte(address + 2) << 16)
+            | (self.read_byte(address + 3) << 24)
+        )
+
+    # --------------------------------------------------------------- write
+
+    def write_byte(self, address, value):
+        """Write the low byte of ``value``."""
+        self._page(address)[address & PAGE_MASK] = value & 0xFF
+
+    def write_half(self, address, value):
+        """Write the low halfword of ``value`` (must be 2-aligned)."""
+        if address & 1:
+            raise MemoryError_("unaligned halfword write at 0x%08x" % address)
+        self.write_byte(address, value)
+        self.write_byte(address + 1, value >> 8)
+
+    def write_word(self, address, value):
+        """Write the low word of ``value`` (must be 4-aligned)."""
+        if address & 3:
+            raise MemoryError_("unaligned word write at 0x%08x" % address)
+        offset = address & PAGE_MASK
+        page = self._page(address)
+        if offset <= PAGE_SIZE - 4:
+            page[offset : offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        else:
+            self.write_byte(address, value)
+            self.write_byte(address + 1, value >> 8)
+            self.write_byte(address + 2, value >> 16)
+            self.write_byte(address + 3, value >> 24)
+
+    # --------------------------------------------------------------- bulk
+
+    def write_bytes(self, address, data):
+        """Copy a bytes-like object into memory starting at ``address``."""
+        for index, byte in enumerate(data):
+            self.write_byte(address + index, byte)
+
+    def read_bytes(self, address, length):
+        """Read ``length`` bytes starting at ``address``."""
+        return bytes(self.read_byte(address + index) for index in range(length))
+
+    def read_cstring(self, address, max_length=65536):
+        """Read a NUL-terminated string."""
+        chars = []
+        for index in range(max_length):
+            byte = self.read_byte(address + index)
+            if byte == 0:
+                break
+            chars.append(chr(byte))
+        return "".join(chars)
+
+    @property
+    def allocated_pages(self):
+        """Number of 4KB pages materialized so far."""
+        return len(self._pages)

@@ -1,0 +1,59 @@
+"""Set-associative TLB model (paper Section 3: 16-entry I, 32-entry D)."""
+
+PAGE_BITS = 12
+
+
+class TLB:
+    """A small set-associative LRU TLB over 4KB pages."""
+
+    def __init__(self, name, entries, assoc, page_bits=PAGE_BITS):
+        if entries % assoc:
+            raise ValueError("entries must be a multiple of associativity")
+        self.name = name
+        self.entries = entries
+        self.assoc = assoc
+        self.page_bits = page_bits
+        self.num_sets = entries // assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address):
+        """Translate ``address``; returns True on hit, False on miss.
+
+        Misses install the translation (the simulator has no page faults;
+        every page is considered mapped).
+        """
+        page = address >> self.page_bits
+        set_index = page & (self.num_sets - 1)
+        tag = page >> (self.num_sets.bit_length() - 1)
+        ways = self._sets[set_index]
+        self.accesses += 1
+        for position, way_tag in enumerate(ways):
+            if way_tag == tag:
+                self.hits += 1
+                ways.pop(position)
+                ways.insert(0, tag)
+                return True
+        self.misses += 1
+        if len(ways) >= self.assoc:
+            ways.pop()
+        ways.insert(0, tag)
+        return False
+
+    @property
+    def hit_rate(self):
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def stats(self):
+        """Dict of counters for reports."""
+        return {
+            "name": self.name,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,75 @@
+"""Dynamic trace records — the currency of the paper's trace-driven study.
+
+Each executed instruction yields one :class:`TraceRecord` capturing
+everything the activity and timing models need: register values read and
+written, the ALU operation and its operand values, the memory access
+(address, size, value, direction), and the control-flow outcome.
+"""
+
+
+class TraceRecord:
+    """One executed instruction with its dynamic values."""
+
+    __slots__ = (
+        "pc",
+        "instr",
+        "read_values",
+        "write_value",
+        "alu_kind",
+        "alu_a",
+        "alu_b",
+        "mem_addr",
+        "mem_size",
+        "mem_value",
+        "mem_is_store",
+        "taken",
+        "next_pc",
+    )
+
+    def __init__(self, pc, instr):
+        self.pc = pc
+        self.instr = instr
+        #: Values of source registers, aligned with instr.source_registers().
+        self.read_values = ()
+        #: Value written to the destination register, or None.
+        self.write_value = None
+        #: Significance-ALU operation kind ("add", "sub", "and", ...) or None.
+        self.alu_kind = None
+        self.alu_a = 0
+        self.alu_b = 0
+        #: Memory access fields (None address means no access).
+        self.mem_addr = None
+        self.mem_size = 0
+        self.mem_value = 0
+        self.mem_is_store = False
+        #: For control instructions: whether the PC was redirected.
+        self.taken = False
+        #: Address of the next instruction actually executed.
+        self.next_pc = 0
+
+    @property
+    def is_memory(self):
+        return self.mem_addr is not None
+
+    def __repr__(self):
+        return "TraceRecord(0x%08x %s)" % (self.pc, self.instr.mnemonic)
+
+
+def run_trace(program, max_instructions=2_000_000, inputs=None):
+    """Assemble-and-run convenience: execute ``program`` collecting a trace.
+
+    ``program`` is a :class:`~repro.asm.program.Program`.  Returns
+    ``(records, interpreter)``.  ``inputs`` optionally maps addresses to
+    byte strings poked into memory before execution (used by workloads to
+    inject synthetic media data).
+    """
+    from repro.sim.interpreter import Interpreter
+    from repro.sim.loader import load_program
+
+    memory, machine = load_program(program)
+    if inputs:
+        for address, data in inputs.items():
+            memory.write_bytes(address, data)
+    interpreter = Interpreter(memory, machine, trace=True)
+    interpreter.run(max_instructions)
+    return interpreter.trace_records, interpreter

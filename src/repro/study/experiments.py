@@ -1,0 +1,318 @@
+"""Experiment registry: one entry per paper table/figure plus ablations."""
+
+from repro.core.extension import BYTE_SCHEME, HALFWORD_SCHEME, TWO_BIT_SCHEME
+from repro.study import activity_study, cpi_study, funct_study, patterns_study, pc_study
+from repro.study.report import format_table, percent
+from repro.workloads import mediabench_suite
+
+
+def _run_table1(workloads=None, scale=1):
+    _counter, text = patterns_study.run(workloads, scale)
+    return text
+
+
+def _run_table2(workloads=None, scale=1):
+    _rows, text = pc_study.run(workloads, scale)
+    return text
+
+
+def _run_table3(workloads=None, scale=1):
+    _stats, text = funct_study.run(workloads, scale)
+    return text
+
+
+def _run_table5(workloads=None, scale=1):
+    _reports, _avg, text = activity_study.run(BYTE_SCHEME, workloads, scale)
+    return text
+
+
+def _run_table6(workloads=None, scale=1):
+    _reports, _avg, text = activity_study.run(HALFWORD_SCHEME, workloads, scale)
+    return text
+
+
+def _run_figure(figure):
+    def runner(workloads=None, scale=1):
+        _names, _table, text = cpi_study.run_figure(figure, workloads, scale)
+        return text
+
+    return runner
+
+
+def _run_bottleneck(workloads=None, scale=1):
+    _totals, text = cpi_study.run_bottleneck(workloads, scale)
+    return text
+
+
+def _run_scheme_ablation(workloads=None, scale=1):
+    """Ablation: 2-bit vs 3-bit extension scheme storage/coverage."""
+    counter = patterns_study.collect_pattern_counter(workloads, scale)
+    from repro.core.compress import compression_ratio
+
+    values = []
+    for workload in workloads or mediabench_suite():
+        for record in workload.trace(scale=scale):
+            values.extend(record.read_values)
+            if record.write_value is not None:
+                values.append(record.write_value)
+    rows = []
+    for scheme in (TWO_BIT_SCHEME, BYTE_SCHEME, HALFWORD_SCHEME):
+        ratio = compression_ratio(values, scheme)
+        rows.append(
+            (
+                scheme.name,
+                scheme.num_ext_bits,
+                percent(scheme.overhead_ratio()),
+                "%.3f" % ratio,
+                percent(1 - ratio),
+            )
+        )
+    text = format_table(
+        ("scheme", "ext bits", "overhead", "stored bits / 32", "net savings"),
+        rows,
+        title=(
+            "Ablation (Section 2.1 trade-off) — extension-bit schemes\n"
+            "2-bit coverage of operand values: %s (paper ~94%%)"
+            % percent(counter.two_bit_representable_fraction())
+        ),
+    )
+    return text
+
+
+def _run_granularity_ablation(workloads=None, scale=1):
+    """Ablation: activity savings vs block granularity (byte/halfword)."""
+    from repro.pipeline.activity import STAGES
+
+    parts = []
+    for scheme in (BYTE_SCHEME, HALFWORD_SCHEME):
+        _reports, average, _text = activity_study.run(scheme, workloads, scale)
+        parts.append(
+            (scheme.name, {stage: average.savings_percent(stage) for stage in STAGES})
+        )
+    rows = []
+    for stage in STAGES:
+        rows.append(
+            (stage, "%.1f" % parts[0][1][stage], "%.1f" % parts[1][1][stage])
+        )
+    return format_table(
+        ("stage", "byte savings %", "halfword savings %"),
+        rows,
+        title="Ablation — granularity sweep (Tables 5 vs 6 side by side)",
+    )
+
+
+def _run_energy(workloads=None, scale=1):
+    """Energy estimate: weighted activity x delay per organization.
+
+    The paper's Section 7 defers energy quantification to circuit-level
+    analysis; this applies the standard first-order model (energy
+    proportional to capacitance-weighted switching activity) so the
+    organizations can be compared on energy and energy-delay product.
+    """
+    from repro.pipeline import ActivityModel, simulate
+    from repro.pipeline.energy import EnergyModel
+    from repro.pipeline.organizations import get_organization
+
+    workloads = workloads or mediabench_suite()
+    activity_model = ActivityModel()
+    energy_model = EnergyModel()
+    organizations = (
+        "byte_serial",
+        "halfword_serial",
+        "byte_semi_parallel",
+        "parallel_compressed",
+        "parallel_skewed",
+        "parallel_skewed_bypass",
+    )
+    rows = []
+    for org_name in organizations:
+        organization = get_organization(org_name)
+        latch_scale = organization.latch_boundaries / 4.0
+        savings_sum = 0.0
+        edp_sum = 0.0
+        cpi_overhead_sum = 0.0
+        for workload in workloads:
+            records = workload.trace(scale=scale)
+            report = activity_model.process(records, name=workload.name)
+            baseline_cpi = simulate("baseline32", records).cpi
+            result = simulate(org_name, records)
+            estimate = energy_model.estimate(report, result, latch_scale=latch_scale)
+            savings_sum += estimate.energy_savings
+            edp_sum += estimate.energy_delay_product(baseline_cpi)
+            cpi_overhead_sum += result.cpi / baseline_cpi - 1
+        count = len(workloads)
+        rows.append(
+            (
+                org_name,
+                percent(savings_sum / count),
+                "%+.1f%%" % (100 * cpi_overhead_sum / count),
+                "%.3f" % (edp_sum / count),
+            )
+        )
+    return format_table(
+        ("organization", "dynamic energy saved", "CPI overhead", "EDP vs baseline"),
+        rows,
+        title=(
+            "Energy estimate — capacitance-weighted activity x delay\n"
+            "(EDP < 1.0: the organization wins on energy-delay product)"
+        ),
+    )
+
+
+def _run_memory_extension_ablation(workloads=None, scale=1):
+    """Section 1 option: keeping extension bits in main memory."""
+    from repro.pipeline import ActivityModel
+
+    workloads = workloads or mediabench_suite()
+    rows = []
+    for label, flag in (("regenerated at fill", False), ("maintained in memory", True)):
+        model = ActivityModel(ext_bits_in_memory=flag)
+        _reports, average = model.suite_reports(workloads, scale=scale)
+        rows.append(
+            (
+                label,
+                percent(average.savings("dcache_data")),
+                percent(average.savings("latches")),
+            )
+        )
+    return format_table(
+        ("extension bits", "D$ data savings", "latch savings"),
+        rows,
+        title=(
+            "Ablation (Section 1) — extension bits maintained in memory\n"
+            "(line fills arrive pre-compressed instead of full width)"
+        ),
+    )
+
+
+def _run_branch_prediction_ablation(workloads=None, scale=1):
+    """Future work (Section 3): CPI with a bimodal predictor attached."""
+    from repro.pipeline import InOrderPipeline, BimodalPredictor
+    from repro.pipeline.organizations import get_organization
+
+    workloads = workloads or mediabench_suite()
+    organizations = ("baseline32", "byte_serial", "parallel_skewed_bypass")
+    rows = []
+    for org_name in organizations:
+        stall_cpis = []
+        predicted_cpis = []
+        accuracy_total = 0.0
+        for workload in workloads:
+            records = workload.trace(scale=scale)
+            org = get_organization(org_name)
+            stall_cpis.append(InOrderPipeline(org).run(records).cpi)
+            predictor = BimodalPredictor()
+            predicted_cpis.append(
+                InOrderPipeline(org, predictor=predictor).run(records).cpi
+            )
+            accuracy_total += predictor.accuracy
+        stall_avg = sum(stall_cpis) / len(stall_cpis)
+        predicted_avg = sum(predicted_cpis) / len(predicted_cpis)
+        rows.append(
+            (
+                org_name,
+                "%.3f" % stall_avg,
+                "%.3f" % predicted_avg,
+                percent(1 - predicted_avg / stall_avg),
+                percent(accuracy_total / len(workloads)),
+            )
+        )
+    return format_table(
+        (
+            "organization",
+            "CPI (stall-on-branch)",
+            "CPI (bimodal + BTB)",
+            "CPI reduction",
+            "predictor accuracy",
+        ),
+        rows,
+        title=(
+            "Future work (Section 3) — branch prediction ablation\n"
+            "(the paper's machines stall fetch until branches resolve)"
+        ),
+    )
+
+
+def _run_segmentation_ablation(workloads=None, scale=1):
+    """Future work (Section 2.1): non-uniform significance segments."""
+    from repro.core.extension import SegmentedScheme
+
+    values = []
+    for workload in workloads or mediabench_suite():
+        for record in workload.trace(scale=scale):
+            values.extend(record.read_values)
+            if record.write_value is not None:
+                values.append(record.write_value)
+    rows = []
+    segmentations = (
+        (8, 8, 8, 8),
+        (8, 4, 4, 16),
+        (4, 4, 8, 16),
+        (8, 8, 16),
+        (16, 16),
+        (8, 24),
+    )
+    for segments in segmentations:
+        scheme = SegmentedScheme(segments)
+        total_bits = sum(scheme.stored_bits(value) for value in values)
+        ratio = total_bits / (32.0 * len(values))
+        rows.append(
+            (
+                "/".join(str(s) for s in segments),
+                scheme.num_ext_bits,
+                "%.3f" % ratio,
+                percent(1 - ratio),
+            )
+        )
+    return format_table(
+        ("segments (low..high)", "ext bits", "stored bits / 32", "net savings"),
+        rows,
+        title=(
+            "Future work (Section 2.1) — non-power-of-two segmentations\n"
+            "(storage ratio over the suite's dynamic operand values)"
+        ),
+    )
+
+
+#: Experiment id -> (description, runner).
+EXPERIMENTS = {
+    "table1": ("Table 1: significant-byte pattern frequencies", _run_table1),
+    "table2": ("Table 2: PC-update activity/latency vs block size", _run_table2),
+    "table3": ("Table 3 + Section 2.3: instruction statistics", _run_table3),
+    "fetchstats": ("alias of table3", _run_table3),
+    "table5": ("Table 5: activity savings, byte granularity", _run_table5),
+    "table6": ("Table 6: activity savings, halfword granularity", _run_table6),
+    "fig4": ("Figure 4: CPI, byte/halfword serial", _run_figure("fig4")),
+    "fig6": ("Figure 6: CPI, byte semi-parallel", _run_figure("fig6")),
+    "fig8": ("Figure 8: CPI, byte-parallel skewed", _run_figure("fig8")),
+    "fig10": ("Figure 10: CPI, compressed and skewed+bypasses", _run_figure("fig10")),
+    "bottleneck": ("Section 5: byte-serial bottleneck analysis", _run_bottleneck),
+    "ablation-schemes": ("Ablation: 2-bit vs 3-bit vs halfword schemes", _run_scheme_ablation),
+    "ablation-granularity": ("Ablation: byte vs halfword activity", _run_granularity_ablation),
+    "future-branch-prediction": (
+        "Future work: branch prediction ablation (Section 3)",
+        _run_branch_prediction_ablation,
+    ),
+    "future-segmentation": (
+        "Future work: non-uniform significance segments (Section 2.1)",
+        _run_segmentation_ablation,
+    ),
+    "energy": (
+        "Energy estimate: weighted activity x delay (Section 7 follow-up)",
+        _run_energy,
+    ),
+    "ablation-memory-extension": (
+        "Ablation: extension bits maintained in main memory (Section 1)",
+        _run_memory_extension_ablation,
+    ),
+}
+
+
+def run_experiment(name, workloads=None, scale=1):
+    """Run one experiment by id; returns its report text."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            "unknown experiment %r; available: %s" % (name, ", ".join(sorted(EXPERIMENTS)))
+        )
+    _description, runner = EXPERIMENTS[name]
+    return runner(workloads=workloads, scale=scale)

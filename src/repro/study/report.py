@@ -1,0 +1,81 @@
+"""Plain-text table rendering for experiment reports.
+
+Everything prints ASCII tables comparable side by side with the paper's
+tables, with a ``paper`` column where the paper quotes a number.
+"""
+
+
+def format_table(headers, rows, title=None, float_format="%.2f"):
+    """Render a list-of-rows table with aligned columns."""
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format % cell)
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_comparison(title, entries):
+    """Render (label, measured, paper) triples with a deviation column.
+
+    ``paper`` may be None for quantities the paper does not quote.
+    """
+    rows = []
+    for label, measured, paper in entries:
+        if paper is None:
+            rows.append((label, "%.3f" % measured, "-", "-"))
+        else:
+            deviation = measured - paper
+            rows.append(
+                (label, "%.3f" % measured, "%.3f" % paper, "%+.3f" % deviation)
+            )
+    return format_table(
+        ("quantity", "measured", "paper", "delta"), rows, title=title
+    )
+
+
+def percent(value):
+    """Format a 0..1 fraction as a percent string."""
+    return "%.1f%%" % (100.0 * value)
+
+
+def format_bar_chart(title, entries, width=48, unit=""):
+    """Render (label, value) pairs as a horizontal ASCII bar chart.
+
+    The paper's figures are per-benchmark bar charts; this gives the CLI
+    the same visual without a plotting dependency.
+
+    >>> print(format_bar_chart("t", [("a", 2.0), ("b", 1.0)], width=8))
+    t
+    a 2.00 ████████
+    b 1.00 ████
+    """
+    if not entries:
+        return title
+    label_width = max(len(str(label)) for label, _value in entries)
+    peak = max(value for _label, value in entries)
+    if peak <= 0:
+        peak = 1.0
+    lines = [title]
+    for label, value in entries:
+        bar = "█" * max(0, int(round(width * value / peak)))
+        lines.append(
+            "%s %.2f%s %s" % (str(label).ljust(label_width), value, unit, bar)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Mediabench-like workload suite.
+
+The paper evaluates on Mediabench (adpcm, epic, g721, gsm, jpeg, mpeg2,
+pegwit...).  The original sources and inputs are not redistributable
+here, so this package provides *equivalent* integer kernels written in
+MiniC, each fed deterministic synthetic media-shaped inputs and each
+validated against an independent pure-Python reference implementation.
+
+What matters for reproducing the paper's numbers is (a) the dynamic
+value distribution — narrow 8/16-bit media data, small loop indices,
+0x10000000-based addresses — and (b) the instruction mix — tight MAC
+loops, quantization shifts, table lookups — and these kernels preserve
+both.  The crypto-style ``pegwit`` kernel intentionally works on
+full-width values and anchors the low end of the savings range, as the
+real pegwit does in the paper's Table 5.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    MEDIABENCH_NAMES,
+    all_workloads,
+    get_workload,
+    mediabench_suite,
+)
+
+__all__ = [
+    "Workload",
+    "MEDIABENCH_NAMES",
+    "all_workloads",
+    "get_workload",
+    "mediabench_suite",
+]

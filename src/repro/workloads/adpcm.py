@@ -1,0 +1,229 @@
+"""IMA ADPCM encode/decode — Mediabench ``rawcaudio`` / ``rawdaudio``.
+
+Classic 4-bit IMA ADPCM with the 89-entry step-size table and 16-entry
+index-adaptation table.  The encoder compresses synthetic 16-bit PCM;
+the decoder reconstructs PCM from the code stream the reference encoder
+produced.  Both print a running checksum plus final predictor state so
+any divergence from the Python reference is caught.
+"""
+
+from repro.workloads.base import Workload, format_int_array
+from repro.workloads.inputs import audio_samples
+
+STEP_TABLE = (
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41,
+    45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190,
+    209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724,
+    796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
+    7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500,
+    20350, 22385, 24623, 27086, 29794, 32767,
+)
+
+INDEX_TABLE = (-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8)
+
+SAMPLES_PER_SCALE = 1024
+
+
+def _encode_reference(samples):
+    """Pure-Python IMA ADPCM encoder (must mirror the MiniC exactly)."""
+    valpred = 0
+    index = 0
+    step = STEP_TABLE[0]
+    codes = []
+    checksum = 0
+    for sample in samples:
+        diff = sample - valpred
+        sign = 8 if diff < 0 else 0
+        if sign:
+            diff = -diff
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        if diff >= step >> 1:
+            delta |= 2
+            diff -= step >> 1
+            vpdiff += step >> 1
+        if diff >= step >> 2:
+            delta |= 1
+            vpdiff += step >> 2
+        if sign:
+            valpred -= vpdiff
+        else:
+            valpred += vpdiff
+        if valpred > 32767:
+            valpred = 32767
+        elif valpred < -32768:
+            valpred = -32768
+        delta |= sign
+        index += INDEX_TABLE[delta]
+        if index < 0:
+            index = 0
+        elif index > 88:
+            index = 88
+        step = STEP_TABLE[index]
+        codes.append(delta)
+        checksum = (checksum * 31 + delta) & 0xFFFFFF
+    return codes, checksum, valpred, index
+
+
+def _decode_reference(codes):
+    """Pure-Python IMA ADPCM decoder."""
+    valpred = 0
+    index = 0
+    step = STEP_TABLE[0]
+    checksum = 0
+    for delta in codes:
+        index += INDEX_TABLE[delta]
+        if index < 0:
+            index = 0
+        elif index > 88:
+            index = 88
+        sign = delta & 8
+        magnitude = delta & 7
+        vpdiff = step >> 3
+        if magnitude & 4:
+            vpdiff += step
+        if magnitude & 2:
+            vpdiff += step >> 1
+        if magnitude & 1:
+            vpdiff += step >> 2
+        if sign:
+            valpred -= vpdiff
+        else:
+            valpred += vpdiff
+        if valpred > 32767:
+            valpred = 32767
+        elif valpred < -32768:
+            valpred = -32768
+        step = STEP_TABLE[index]
+        checksum = (checksum * 31 + (valpred & 0xFFFF)) & 0xFFFFFF
+    return checksum, valpred, index
+
+
+_COMMON_TABLES = (
+    format_int_array("step_table", STEP_TABLE)
+    + "\n"
+    + format_int_array("index_table", INDEX_TABLE)
+)
+
+
+def _encoder_source(scale):
+    samples = audio_samples(SAMPLES_PER_SCALE * scale)
+    return """
+%s
+%s
+
+int main() {
+    int valpred = 0;
+    int index = 0;
+    int step = step_table[0];
+    int checksum = 0;
+    int n = %d;
+    for (int i = 0; i < n; i += 1) {
+        int sample = pcm_input[i];
+        int diff = sample - valpred;
+        int sign = 0;
+        if (diff < 0) { sign = 8; diff = -diff; }
+        int delta = 0;
+        int vpdiff = step >> 3;
+        if (diff >= step) { delta = 4; diff -= step; vpdiff += step; }
+        if (diff >= (step >> 1)) { delta |= 2; diff -= step >> 1; vpdiff += step >> 1; }
+        if (diff >= (step >> 2)) { delta |= 1; vpdiff += step >> 2; }
+        if (sign) { valpred -= vpdiff; } else { valpred += vpdiff; }
+        if (valpred > 32767) { valpred = 32767; }
+        else if (valpred < -32768) { valpred = -32768; }
+        delta |= sign;
+        index += index_table[delta];
+        if (index < 0) { index = 0; }
+        else if (index > 88) { index = 88; }
+        step = step_table[index];
+        checksum = (checksum * 31 + delta) & 0xFFFFFF;
+    }
+    print_int(checksum);
+    print_char(' ');
+    print_int(valpred);
+    print_char(' ');
+    print_int(index);
+    return 0;
+}
+""" % (
+        format_int_array("pcm_input", samples),
+        _COMMON_TABLES,
+        len(samples),
+    )
+
+
+def _encoder_reference(scale):
+    samples = audio_samples(SAMPLES_PER_SCALE * scale)
+    _codes, checksum, valpred, index = _encode_reference(samples)
+    return "%d %d %d" % (checksum, valpred, index)
+
+
+def _decoder_source(scale):
+    samples = audio_samples(SAMPLES_PER_SCALE * scale)
+    codes, _checksum, _valpred, _index = _encode_reference(samples)
+    return """
+%s
+%s
+
+int main() {
+    int valpred = 0;
+    int index = 0;
+    int step = step_table[0];
+    int checksum = 0;
+    int n = %d;
+    for (int i = 0; i < n; i += 1) {
+        int delta = code_input[i];
+        index += index_table[delta];
+        if (index < 0) { index = 0; }
+        else if (index > 88) { index = 88; }
+        int sign = delta & 8;
+        int magnitude = delta & 7;
+        int vpdiff = step >> 3;
+        if (magnitude & 4) { vpdiff += step; }
+        if (magnitude & 2) { vpdiff += step >> 1; }
+        if (magnitude & 1) { vpdiff += step >> 2; }
+        if (sign) { valpred -= vpdiff; } else { valpred += vpdiff; }
+        if (valpred > 32767) { valpred = 32767; }
+        else if (valpred < -32768) { valpred = -32768; }
+        step = step_table[index];
+        checksum = (checksum * 31 + (valpred & 0xFFFF)) & 0xFFFFFF;
+    }
+    print_int(checksum);
+    print_char(' ');
+    print_int(valpred);
+    print_char(' ');
+    print_int(index);
+    return 0;
+}
+""" % (
+        format_int_array("code_input", codes),
+        _COMMON_TABLES,
+        len(codes),
+    )
+
+
+def _decoder_reference(scale):
+    samples = audio_samples(SAMPLES_PER_SCALE * scale)
+    codes, _checksum, _valpred, _index = _encode_reference(samples)
+    checksum, valpred, index = _decode_reference(codes)
+    return "%d %d %d" % (checksum, valpred, index)
+
+
+RAWCAUDIO = Workload(
+    "rawcaudio",
+    _encoder_source,
+    _encoder_reference,
+    "IMA ADPCM encoder over synthetic 16-bit PCM audio",
+)
+
+RAWDAUDIO = Workload(
+    "rawdaudio",
+    _decoder_source,
+    _decoder_reference,
+    "IMA ADPCM decoder over the reference encoder's code stream",
+)

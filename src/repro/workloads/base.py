@@ -1,0 +1,105 @@
+"""Workload plumbing: compile/run/verify with caching."""
+
+from repro.minic import compile_program
+from repro.sim import Interpreter, load_program
+
+
+def format_int_array(name, values):
+    """Render a MiniC global array definition for embedded input data."""
+    body = ", ".join(str(int(v)) for v in values)
+    return "int %s[%d] = {%s};" % (name, len(values), body)
+
+
+class Workload:
+    """A named MiniC kernel with synthetic inputs and a Python reference.
+
+    ``source_builder(scale)`` returns MiniC source; ``reference(scale)``
+    returns the exact output text the program must print.  Programs,
+    traces and outputs are cached per scale — the studies run many
+    analyses over the same trace.
+    """
+
+    def __init__(self, name, source_builder, reference, description, category="media"):
+        self.name = name
+        self.source_builder = source_builder
+        self.reference = reference
+        self.description = description
+        self.category = category
+        self._programs = {}
+        self._runs = {}
+
+    def source(self, scale=1):
+        """MiniC source text at the given scale."""
+        return self.source_builder(scale)
+
+    def program(self, scale=1):
+        """Compiled program (cached)."""
+        if scale not in self._programs:
+            self._programs[scale] = compile_program(self.source(scale))
+        return self._programs[scale]
+
+    def run(self, scale=1, trace=True, max_instructions=20_000_000):
+        """Execute; returns (trace_records, interpreter), cached per scale."""
+        key = (scale, trace)
+        if key not in self._runs:
+            memory, machine = load_program(self.program(scale))
+            interpreter = Interpreter(memory, machine, trace=trace)
+            interpreter.run(max_instructions)
+            self._runs[key] = (interpreter.trace_records, interpreter)
+        return self._runs[key]
+
+    def trace(self, scale=1):
+        """Trace records only."""
+        return self.run(scale=scale)[0]
+
+    def output(self, scale=1):
+        """Program output text."""
+        return self.run(scale=scale, trace=False)[1].output_text
+
+    def expected_output(self, scale=1):
+        """Reference output from the Python model."""
+        return self.reference(scale)
+
+    def verify(self, scale=1):
+        """Assert simulated output matches the Python reference."""
+        actual = self.output(scale)
+        expected = self.expected_output(scale)
+        if actual != expected:
+            raise AssertionError(
+                "workload %s mismatch at scale %d:\n  simulated: %s\n  reference: %s"
+                % (self.name, scale, actual, expected)
+            )
+        return True
+
+    def clear_cache(self):
+        """Drop cached programs and runs (frees trace memory)."""
+        self._programs.clear()
+        self._runs.clear()
+
+    def __repr__(self):
+        return "Workload(%s)" % self.name
+
+
+# ------------------------------------------------------- reference helpers
+
+
+def to_s32(value):
+    """Wrap to signed 32-bit (the reference-side mirror of MiniC ints)."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def mul32(a, b):
+    """32-bit wrapping signed multiply."""
+    return to_s32((a * b) & 0xFFFFFFFF)
+
+
+def cdiv(a, b):
+    """C-style integer division (truncation toward zero)."""
+    quotient = abs(a) // abs(b)
+    return quotient if (a < 0) == (b < 0) else -quotient
+
+
+def cmod(a, b):
+    """C-style remainder (sign follows the dividend)."""
+    return a - cdiv(a, b) * b

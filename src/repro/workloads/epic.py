@@ -1,0 +1,290 @@
+"""Wavelet pyramid coder/decoder — Mediabench ``epic`` / ``unepic``.
+
+A two-level 2D S-transform (integer Haar) pyramid over a 32x32 synthetic
+image, with shift quantization of the detail bands and a run-length scan
+— the integer heart of EPIC's pyramid coder.  ``unepic`` inverts the
+pyramid from the quantized coefficients produced by the Python
+reference.
+"""
+
+from repro.workloads.base import Workload, format_int_array
+from repro.workloads.inputs import image_block
+
+WIDTH = 32
+LEVELS = 2
+QUANT_SHIFT = 3
+
+
+def _forward_reference(pixels):
+    """2-level 2D S-transform + quantization; returns (coeffs, stats)."""
+    work = [p - 128 for p in pixels]
+    size = WIDTH
+    for _level in range(LEVELS):
+        half = size // 2
+        # Rows.
+        for y in range(size):
+            row = y * WIDTH
+            temp = [0] * size
+            for k in range(half):
+                a = work[row + 2 * k]
+                b = work[row + 2 * k + 1]
+                d = a - b
+                s = b + (d >> 1)
+                temp[k] = s
+                temp[half + k] = d
+            for k in range(size):
+                work[row + k] = temp[k]
+        # Columns.
+        for x in range(size):
+            temp = [0] * size
+            for k in range(half):
+                a = work[(2 * k) * WIDTH + x]
+                b = work[(2 * k + 1) * WIDTH + x]
+                d = a - b
+                s = b + (d >> 1)
+                temp[k] = s
+                temp[half + k] = d
+            for k in range(size):
+                work[k * WIDTH + x] = temp[k]
+        size = half
+    # Quantize everything outside the LL band (top-left size x size).
+    ll = size
+    for y in range(WIDTH):
+        for x in range(WIDTH):
+            if x >= ll or y >= ll:
+                work[y * WIDTH + x] >>= QUANT_SHIFT
+    nonzero = sum(1 for c in work if c != 0)
+    runs = 0
+    in_run = 0
+    for c in work:
+        if c == 0:
+            if not in_run:
+                runs += 1
+                in_run = 1
+        else:
+            in_run = 0
+    checksum = 0
+    for c in work:
+        checksum = (checksum * 31 + (c & 0xFFFF)) & 0xFFFFFF
+    return work, (nonzero, runs, checksum)
+
+
+def _inverse_reference(coeffs):
+    """Dequantize + 2-level inverse S-transform; returns (pixels, checksum)."""
+    work = list(coeffs)
+    ll = WIDTH >> LEVELS
+    for y in range(WIDTH):
+        for x in range(WIDTH):
+            if x >= ll or y >= ll:
+                work[y * WIDTH + x] <<= QUANT_SHIFT
+    size = WIDTH >> (LEVELS - 1)
+    for _level in range(LEVELS):
+        half = size // 2
+        # Columns first (reverse of forward order).
+        for x in range(size):
+            temp = [0] * size
+            for k in range(half):
+                s = work[k * WIDTH + x]
+                d = work[(half + k) * WIDTH + x]
+                b = s - (d >> 1)
+                a = b + d
+                temp[2 * k] = a
+                temp[2 * k + 1] = b
+            for k in range(size):
+                work[k * WIDTH + x] = temp[k]
+        # Rows.
+        for y in range(size):
+            row = y * WIDTH
+            temp = [0] * size
+            for k in range(half):
+                s = work[row + k]
+                d = work[row + half + k]
+                b = s - (d >> 1)
+                a = b + d
+                temp[2 * k] = a
+                temp[2 * k + 1] = b
+            for k in range(size):
+                work[row + k] = temp[k]
+        size *= 2
+    pixels = []
+    checksum = 0
+    for value in work:
+        pixel = value + 128
+        if pixel < 0:
+            pixel = 0
+        elif pixel > 255:
+            pixel = 255
+        pixels.append(pixel)
+        checksum = (checksum * 31 + pixel) & 0xFFFFFF
+    return pixels, checksum
+
+
+def _epic_source(scale):
+    pixels = image_block(WIDTH, WIDTH, seed=0x1A6E + scale)
+    return """
+%s
+int work[%d];
+int temp[%d];
+
+int main() {
+    int W = %d;
+    int n = W * W;
+    for (int i = 0; i < n; i += 1) { work[i] = image[i] - 128; }
+    int size = W;
+    for (int level = 0; level < %d; level += 1) {
+        int half = size >> 1;
+        for (int y = 0; y < size; y += 1) {
+            int row = y * W;
+            for (int k = 0; k < half; k += 1) {
+                int a = work[row + 2 * k];
+                int b = work[row + 2 * k + 1];
+                int d = a - b;
+                int s = b + (d >> 1);
+                temp[k] = s;
+                temp[half + k] = d;
+            }
+            for (int k = 0; k < size; k += 1) { work[row + k] = temp[k]; }
+        }
+        for (int x = 0; x < size; x += 1) {
+            for (int k = 0; k < half; k += 1) {
+                int a = work[2 * k * W + x];
+                int b = work[(2 * k + 1) * W + x];
+                int d = a - b;
+                int s = b + (d >> 1);
+                temp[k] = s;
+                temp[half + k] = d;
+            }
+            for (int k = 0; k < size; k += 1) { work[k * W + x] = temp[k]; }
+        }
+        size = half;
+    }
+    int ll = size;
+    for (int y = 0; y < W; y += 1) {
+        for (int x = 0; x < W; x += 1) {
+            if (x >= ll || y >= ll) {
+                work[y * W + x] >>= %d;
+            }
+        }
+    }
+    int nonzero = 0;
+    int runs = 0;
+    int in_run = 0;
+    int checksum = 0;
+    for (int i = 0; i < n; i += 1) {
+        int c = work[i];
+        if (c != 0) { nonzero += 1; in_run = 0; }
+        else if (!in_run) { runs += 1; in_run = 1; }
+        checksum = (checksum * 31 + (c & 0xFFFF)) & 0xFFFFFF;
+    }
+    print_int(nonzero);
+    print_char(' ');
+    print_int(runs);
+    print_char(' ');
+    print_int(checksum);
+    return 0;
+}
+""" % (
+        format_int_array("image", pixels),
+        WIDTH * WIDTH,
+        WIDTH,
+        WIDTH,
+        LEVELS,
+        QUANT_SHIFT,
+    )
+
+
+def _epic_reference(scale):
+    pixels = image_block(WIDTH, WIDTH, seed=0x1A6E + scale)
+    _coeffs, (nonzero, runs, checksum) = _forward_reference(pixels)
+    return "%d %d %d" % (nonzero, runs, checksum)
+
+
+def _unepic_source(scale):
+    pixels = image_block(WIDTH, WIDTH, seed=0x1A6E + scale)
+    coeffs, _stats = _forward_reference(pixels)
+    return """
+%s
+int work[%d];
+int temp[%d];
+
+int main() {
+    int W = %d;
+    int n = W * W;
+    int levels = %d;
+    int ll = W >> levels;
+    for (int i = 0; i < n; i += 1) { work[i] = coeffs[i]; }
+    for (int y = 0; y < W; y += 1) {
+        for (int x = 0; x < W; x += 1) {
+            if (x >= ll || y >= ll) {
+                work[y * W + x] <<= %d;
+            }
+        }
+    }
+    int size = W >> (levels - 1);
+    for (int level = 0; level < levels; level += 1) {
+        int half = size >> 1;
+        for (int x = 0; x < size; x += 1) {
+            for (int k = 0; k < half; k += 1) {
+                int s = work[k * W + x];
+                int d = work[(half + k) * W + x];
+                int b = s - (d >> 1);
+                int a = b + d;
+                temp[2 * k] = a;
+                temp[2 * k + 1] = b;
+            }
+            for (int k = 0; k < size; k += 1) { work[k * W + x] = temp[k]; }
+        }
+        for (int y = 0; y < size; y += 1) {
+            int row = y * W;
+            for (int k = 0; k < half; k += 1) {
+                int s = work[row + k];
+                int d = work[row + half + k];
+                int b = s - (d >> 1);
+                int a = b + d;
+                temp[2 * k] = a;
+                temp[2 * k + 1] = b;
+            }
+            for (int k = 0; k < size; k += 1) { work[row + k] = temp[k]; }
+        }
+        size = size * 2;
+    }
+    int checksum = 0;
+    for (int i = 0; i < n; i += 1) {
+        int pixel = work[i] + 128;
+        if (pixel < 0) { pixel = 0; }
+        else if (pixel > 255) { pixel = 255; }
+        checksum = (checksum * 31 + pixel) & 0xFFFFFF;
+    }
+    print_int(checksum);
+    return 0;
+}
+""" % (
+        format_int_array("coeffs", coeffs),
+        WIDTH * WIDTH,
+        WIDTH,
+        WIDTH,
+        LEVELS,
+        QUANT_SHIFT,
+    )
+
+
+def _unepic_reference(scale):
+    pixels = image_block(WIDTH, WIDTH, seed=0x1A6E + scale)
+    coeffs, _stats = _forward_reference(pixels)
+    _pixels, checksum = _inverse_reference(coeffs)
+    return "%d" % checksum
+
+
+EPIC = Workload(
+    "epic",
+    _epic_source,
+    _epic_reference,
+    "2-level integer wavelet pyramid encoder with quantization and RLE scan",
+)
+
+UNEPIC = Workload(
+    "unepic",
+    _unepic_source,
+    _unepic_reference,
+    "Inverse wavelet pyramid decoder from quantized coefficients",
+)

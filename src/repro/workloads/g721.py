@@ -1,0 +1,267 @@
+"""Adaptive-predictor ADPCM telephony codec — Mediabench ``g721``.
+
+A G.721-style ADPCM with a second-order adaptive pole predictor updated
+by sign-sign LMS and an adaptive quantizer step, structurally matching
+the CCITT reference code's integer arithmetic (predictor coefficients in
+Q8, step-size multiplicative adaptation with clamping).  Distinct from
+the table-driven IMA coder in :mod:`repro.workloads.adpcm`.
+"""
+
+from repro.workloads.base import Workload, format_int_array
+from repro.workloads.inputs import audio_samples
+
+SAMPLES_PER_SCALE = 768
+STEP_MIN = 16
+STEP_MAX = 16384
+COEFF_LIMIT = 192  # |a1|,|a2| <= 0.75 in Q8
+
+
+def _sign(value):
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+class _CodecState:
+    """Shared predictor/quantizer state for the reference model."""
+
+    def __init__(self):
+        self.y1 = 0
+        self.y2 = 0
+        self.a1 = 0
+        self.a2 = 0
+        self.step = 256
+
+    def predict(self):
+        return (self.a1 * self.y1 + self.a2 * self.y2) >> 8
+
+    def adapt(self, error_sign, magnitude, reconstructed):
+        # Sign-sign LMS pole update with leakage.
+        self.a1 += 2 * error_sign * _sign(self.y1)
+        self.a2 += error_sign * _sign(self.y2)
+        self.a1 -= self.a1 >> 6
+        self.a2 -= self.a2 >> 6
+        if self.a1 > COEFF_LIMIT:
+            self.a1 = COEFF_LIMIT
+        elif self.a1 < -COEFF_LIMIT:
+            self.a1 = -COEFF_LIMIT
+        if self.a2 > COEFF_LIMIT:
+            self.a2 = COEFF_LIMIT
+        elif self.a2 < -COEFF_LIMIT:
+            self.a2 = -COEFF_LIMIT
+        self.y2 = self.y1
+        self.y1 = reconstructed
+        # Multiplicative step adaptation.
+        if magnitude >= 6:
+            self.step += self.step >> 1
+        elif magnitude >= 4:
+            self.step += self.step >> 3
+        else:
+            self.step -= self.step >> 3
+        if self.step < STEP_MIN:
+            self.step = STEP_MIN
+        elif self.step > STEP_MAX:
+            self.step = STEP_MAX
+
+
+def _quantize(error, step):
+    """4-bit sign/magnitude quantization of the prediction error."""
+    sign = 8 if error < 0 else 0
+    magnitude = -error if error < 0 else error
+    code = (magnitude << 2) // step
+    if code > 7:
+        code = 7
+    return sign | code, code
+
+
+def _dequantize(code_magnitude, step):
+    return ((2 * code_magnitude + 1) * step) >> 3
+
+
+def _clamp16(value):
+    if value > 32767:
+        return 32767
+    if value < -32768:
+        return -32768
+    return value
+
+
+def _encode_reference(samples):
+    state = _CodecState()
+    codes = []
+    checksum = 0
+    for sample in samples:
+        predicted = state.predict()
+        error = sample - predicted
+        code, magnitude = _quantize(error, state.step)
+        reconstructed = _clamp16(
+            predicted + (-_dequantize(magnitude, state.step) if code & 8 else _dequantize(magnitude, state.step))
+        )
+        error_sign = -1 if code & 8 else (1 if magnitude else 0)
+        state.adapt(error_sign, magnitude, reconstructed)
+        codes.append(code)
+        checksum = (checksum * 31 + code) & 0xFFFFFF
+    return codes, checksum, state
+
+
+def _decode_reference(codes):
+    state = _CodecState()
+    checksum = 0
+    for code in codes:
+        magnitude = code & 7
+        predicted = state.predict()
+        delta = _dequantize(magnitude, state.step)
+        if code & 8:
+            delta = -delta
+        reconstructed = _clamp16(predicted + delta)
+        error_sign = -1 if code & 8 else (1 if magnitude else 0)
+        state.adapt(error_sign, magnitude, reconstructed)
+        checksum = (checksum * 31 + (reconstructed & 0xFFFF)) & 0xFFFFFF
+    return checksum, state
+
+
+_SHARED_BODY = """
+int y1 = 0;
+int y2 = 0;
+int a1 = 0;
+int a2 = 0;
+int step = 256;
+
+int sign3(int v) {
+    if (v > 0) { return 1; }
+    if (v < 0) { return -1; }
+    return 0;
+}
+
+int clamp16(int v) {
+    if (v > 32767) { return 32767; }
+    if (v < -32768) { return -32768; }
+    return v;
+}
+
+void adapt(int error_sign, int magnitude, int reconstructed) {
+    a1 += 2 * error_sign * sign3(y1);
+    a2 += error_sign * sign3(y2);
+    a1 -= a1 >> 6;
+    a2 -= a2 >> 6;
+    if (a1 > %(limit)d) { a1 = %(limit)d; } else if (a1 < -%(limit)d) { a1 = -%(limit)d; }
+    if (a2 > %(limit)d) { a2 = %(limit)d; } else if (a2 < -%(limit)d) { a2 = -%(limit)d; }
+    y2 = y1;
+    y1 = reconstructed;
+    if (magnitude >= 6) { step += step >> 1; }
+    else if (magnitude >= 4) { step += step >> 3; }
+    else { step -= step >> 3; }
+    if (step < %(step_min)d) { step = %(step_min)d; }
+    else if (step > %(step_max)d) { step = %(step_max)d; }
+}
+""" % {"limit": COEFF_LIMIT, "step_min": STEP_MIN, "step_max": STEP_MAX}
+
+
+def _encoder_source(scale):
+    samples = audio_samples(SAMPLES_PER_SCALE * scale, seed=0x0721 + scale)
+    return """
+%s
+%s
+
+int main() {
+    int checksum = 0;
+    int n = %d;
+    for (int i = 0; i < n; i += 1) {
+        int sample = pcm_input[i];
+        int predicted = (a1 * y1 + a2 * y2) >> 8;
+        int error = sample - predicted;
+        int sign = 0;
+        int magnitude = error;
+        if (error < 0) { sign = 8; magnitude = -error; }
+        int code = (magnitude << 2) / step;
+        if (code > 7) { code = 7; }
+        int delta = ((2 * code + 1) * step) >> 3;
+        int reconstructed;
+        if (sign) { reconstructed = clamp16(predicted - delta); }
+        else { reconstructed = clamp16(predicted + delta); }
+        int error_sign = 0;
+        if (sign) { error_sign = -1; }
+        else if (code != 0) { error_sign = 1; }
+        adapt(error_sign, code, reconstructed);
+        code |= sign;
+        checksum = (checksum * 31 + code) & 0xFFFFFF;
+    }
+    print_int(checksum);
+    print_char(' ');
+    print_int(y1);
+    print_char(' ');
+    print_int(step);
+    return 0;
+}
+""" % (
+        format_int_array("pcm_input", samples),
+        _SHARED_BODY,
+        len(samples),
+    )
+
+
+def _encoder_reference(scale):
+    samples = audio_samples(SAMPLES_PER_SCALE * scale, seed=0x0721 + scale)
+    _codes, checksum, state = _encode_reference(samples)
+    return "%d %d %d" % (checksum, state.y1, state.step)
+
+
+def _decoder_source(scale):
+    samples = audio_samples(SAMPLES_PER_SCALE * scale, seed=0x0721 + scale)
+    codes, _checksum, _state = _encode_reference(samples)
+    return """
+%s
+%s
+
+int main() {
+    int checksum = 0;
+    int n = %d;
+    for (int i = 0; i < n; i += 1) {
+        int code = code_input[i];
+        int magnitude = code & 7;
+        int predicted = (a1 * y1 + a2 * y2) >> 8;
+        int delta = ((2 * magnitude + 1) * step) >> 3;
+        if (code & 8) { delta = -delta; }
+        int reconstructed = clamp16(predicted + delta);
+        int error_sign = 0;
+        if (code & 8) { error_sign = -1; }
+        else if (magnitude != 0) { error_sign = 1; }
+        adapt(error_sign, magnitude, reconstructed);
+        checksum = (checksum * 31 + (reconstructed & 0xFFFF)) & 0xFFFFFF;
+    }
+    print_int(checksum);
+    print_char(' ');
+    print_int(y1);
+    print_char(' ');
+    print_int(step);
+    return 0;
+}
+""" % (
+        format_int_array("code_input", codes),
+        _SHARED_BODY,
+        len(codes),
+    )
+
+
+def _decoder_reference(scale):
+    samples = audio_samples(SAMPLES_PER_SCALE * scale, seed=0x0721 + scale)
+    codes, _checksum, _state = _encode_reference(samples)
+    checksum, state = _decode_reference(codes)
+    return "%d %d %d" % (checksum, state.y1, state.step)
+
+
+G721_ENCODE = Workload(
+    "g721_encode",
+    _encoder_source,
+    _encoder_reference,
+    "G.721-style adaptive-predictor ADPCM encoder",
+)
+
+G721_DECODE = Workload(
+    "g721_decode",
+    _decoder_source,
+    _decoder_reference,
+    "G.721-style adaptive-predictor ADPCM decoder",
+)

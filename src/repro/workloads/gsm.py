@@ -1,0 +1,254 @@
+"""GSM-style long-term predictor frame coder — Mediabench ``gsm``/toast.
+
+The computational core of GSM 06.10: per 40-sample subframe, search lags
+40..120 for the maximum cross-correlation against reconstructed history
+(the classic MAC loop that dominates toast's execution), quantize the
+LTP gain, and emit the scaled prediction residual.  Samples are
+pre-scaled by >>3 as in the real coder so 32-bit accumulators cannot
+overflow.
+"""
+
+from repro.workloads.base import Workload, format_int_array
+from repro.workloads.inputs import audio_samples
+
+SUBFRAME = 40
+MIN_LAG = 40
+MAX_LAG = 120
+SUBFRAMES_PER_SCALE = 4
+
+
+def _reference(samples):
+    scaled = [s >> 3 for s in samples]
+    history_length = MAX_LAG
+    checksum = 0
+    best_lags = []
+    position = history_length
+    while position + SUBFRAME <= len(scaled):
+        window = scaled[position : position + SUBFRAME]
+        best_lag = MIN_LAG
+        best_corr = -1 << 30
+        for lag in range(MIN_LAG, MAX_LAG + 1):
+            corr = 0
+            for k in range(SUBFRAME):
+                corr += window[k] * scaled[position + k - lag]
+            if corr > best_corr:
+                best_corr = corr
+                best_lag = lag
+        energy = 0
+        for k in range(SUBFRAME):
+            delayed = scaled[position + k - best_lag]
+            energy += delayed * delayed
+        if energy == 0:
+            gain = 0
+        else:
+            gain = (best_corr << 6) // energy
+            if gain < 0:
+                gain = 0
+            elif gain > 64:
+                gain = 64
+        for k in range(SUBFRAME):
+            predicted = (gain * scaled[position + k - best_lag]) >> 6
+            residual = window[k] - predicted
+            checksum = (checksum * 31 + (residual & 0xFFFF)) & 0xFFFFFF
+        best_lags.append(best_lag)
+        checksum = (checksum * 31 + best_lag + gain) & 0xFFFFFF
+        position += SUBFRAME
+    return checksum, best_lags
+
+
+def _source(scale):
+    count = MAX_LAG + SUBFRAME * SUBFRAMES_PER_SCALE * scale
+    samples = audio_samples(count, seed=0x65A1 + scale)
+    return """
+%s
+int scaled[%d];
+
+int main() {
+    int n = %d;
+    for (int i = 0; i < n; i += 1) { scaled[i] = pcm_input[i] >> 3; }
+    int checksum = 0;
+    int position = %d;
+    while (position + %d <= n) {
+        int best_lag = %d;
+        int best_corr = -(1 << 30);
+        for (int lag = %d; lag <= %d; lag += 1) {
+            int corr = 0;
+            for (int k = 0; k < %d; k += 1) {
+                corr += scaled[position + k] * scaled[position + k - lag];
+            }
+            if (corr > best_corr) { best_corr = corr; best_lag = lag; }
+        }
+        int energy = 0;
+        for (int k = 0; k < %d; k += 1) {
+            int delayed = scaled[position + k - best_lag];
+            energy += delayed * delayed;
+        }
+        int gain = 0;
+        if (energy != 0) {
+            gain = (best_corr << 6) / energy;
+            if (gain < 0) { gain = 0; }
+            else if (gain > 64) { gain = 64; }
+        }
+        for (int k = 0; k < %d; k += 1) {
+            int predicted = (gain * scaled[position + k - best_lag]) >> 6;
+            int residual = scaled[position + k] - predicted;
+            checksum = (checksum * 31 + (residual & 0xFFFF)) & 0xFFFFFF;
+        }
+        checksum = (checksum * 31 + best_lag + gain) & 0xFFFFFF;
+        position += %d;
+    }
+    print_int(checksum);
+    return 0;
+}
+""" % (
+        format_int_array("pcm_input", samples),
+        count,
+        count,
+        MAX_LAG,
+        SUBFRAME,
+        MIN_LAG,
+        MIN_LAG,
+        MAX_LAG,
+        SUBFRAME,
+        SUBFRAME,
+        SUBFRAME,
+        SUBFRAME,
+    )
+
+
+def _reference_output(scale):
+    count = MAX_LAG + SUBFRAME * SUBFRAMES_PER_SCALE * scale
+    samples = audio_samples(count, seed=0x65A1 + scale)
+    checksum, _lags = _reference(samples)
+    return "%d" % checksum
+
+
+GSM_TOAST = Workload(
+    "gsm_toast",
+    _source,
+    _reference_output,
+    "GSM-style long-term-prediction subframe coder (lag search + residual)",
+)
+
+
+# ----------------------------------------------------------- decoder side
+
+
+def _encode_parameters(samples):
+    """Run the encoder analysis, returning per-subframe (lag, gain) and
+    the quantized residual stream the decoder consumes."""
+    scaled = [s >> 3 for s in samples]
+    lags = []
+    gains = []
+    residuals = []
+    position = MAX_LAG
+    while position + SUBFRAME <= len(scaled):
+        best_lag = MIN_LAG
+        best_corr = -1 << 30
+        for lag in range(MIN_LAG, MAX_LAG + 1):
+            corr = 0
+            for k in range(SUBFRAME):
+                corr += scaled[position + k] * scaled[position + k - lag]
+            if corr > best_corr:
+                best_corr = corr
+                best_lag = lag
+        energy = 0
+        for k in range(SUBFRAME):
+            delayed = scaled[position + k - best_lag]
+            energy += delayed * delayed
+        if energy == 0:
+            gain = 0
+        else:
+            gain = (best_corr << 6) // energy
+            if gain < 0:
+                gain = 0
+            elif gain > 64:
+                gain = 64
+        for k in range(SUBFRAME):
+            predicted = (gain * scaled[position + k - best_lag]) >> 6
+            residuals.append(scaled[position + k] - predicted)
+        lags.append(best_lag)
+        gains.append(gain)
+        position += SUBFRAME
+    return scaled[:MAX_LAG], lags, gains, residuals
+
+
+def _decode_reference(history, lags, gains, residuals):
+    """LTP synthesis: rebuild the signal from (lag, gain, residual)."""
+    reconstructed = list(history)
+    checksum = 0
+    for frame_index, (lag, gain) in enumerate(zip(lags, gains)):
+        base = len(reconstructed)
+        for k in range(SUBFRAME):
+            delayed = reconstructed[base + k - lag]
+            value = residuals[frame_index * SUBFRAME + k] + ((gain * delayed) >> 6)
+            reconstructed.append(value)
+            checksum = (checksum * 31 + (value & 0xFFFF)) & 0xFFFFFF
+    return checksum, reconstructed
+
+
+#: The synthesis loop is ~20x cheaper per frame than the encoder's lag
+#: search, so the decoder processes more frames for a comparable size.
+DECODER_SUBFRAMES_PER_SCALE = SUBFRAMES_PER_SCALE * 8
+
+
+def _untoast_source(scale):
+    count = MAX_LAG + SUBFRAME * DECODER_SUBFRAMES_PER_SCALE * scale
+    samples = audio_samples(count, seed=0x65A1 + scale)
+    history, lags, gains, residuals = _encode_parameters(samples)
+    total = len(history) + len(residuals)
+    return """
+%s
+%s
+%s
+%s
+int recon[%d];
+
+int main() {
+    int frames = %d;
+    int checksum = 0;
+    for (int i = 0; i < %d; i += 1) { recon[i] = history[i]; }
+    int base = %d;
+    for (int f = 0; f < frames; f += 1) {
+        int lag = lags[f];
+        int gain = gains[f];
+        for (int k = 0; k < %d; k += 1) {
+            int delayed = recon[base + k - lag];
+            int value = residuals[f * %d + k] + ((gain * delayed) >> 6);
+            recon[base + k] = value;
+            checksum = (checksum * 31 + (value & 0xFFFF)) & 0xFFFFFF;
+        }
+        base += %d;
+    }
+    print_int(checksum);
+    return 0;
+}
+""" % (
+        format_int_array("history", history),
+        format_int_array("lags", lags),
+        format_int_array("gains", gains),
+        format_int_array("residuals", residuals),
+        total,
+        len(lags),
+        len(history),
+        len(history),
+        SUBFRAME,
+        SUBFRAME,
+        SUBFRAME,
+    )
+
+
+def _untoast_reference(scale):
+    count = MAX_LAG + SUBFRAME * DECODER_SUBFRAMES_PER_SCALE * scale
+    samples = audio_samples(count, seed=0x65A1 + scale)
+    history, lags, gains, residuals = _encode_parameters(samples)
+    checksum, _reconstructed = _decode_reference(history, lags, gains, residuals)
+    return "%d" % checksum
+
+
+GSM_UNTOAST = Workload(
+    "gsm_untoast",
+    _untoast_source,
+    _untoast_reference,
+    "GSM-style long-term-prediction synthesis (decoder side of toast)",
+)

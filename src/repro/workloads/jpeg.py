@@ -1,0 +1,285 @@
+"""Integer DCT codec — Mediabench ``cjpeg`` / ``djpeg``.
+
+The compute core of JPEG: 8x8 forward DCT via two Q8 integer
+matrix-multiply stages, quantization with the standard luminance table,
+zigzag run-length scan (cjpeg); and dequantization plus inverse DCT with
+level shift and clamping (djpeg).  Operates on four 8x8 blocks of a
+16x16 synthetic image.
+"""
+
+import math
+
+from repro.workloads.base import Workload, cdiv, format_int_array
+from repro.workloads.inputs import image_block
+
+BLOCK = 8
+IMAGE_SIDE = 16
+BLOCKS_PER_SIDE = IMAGE_SIDE // BLOCK
+
+#: Standard JPEG luminance quantization table (Annex K).
+QUANT_TABLE = (
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+)
+
+#: Zigzag scan order.
+ZIGZAG = (
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+)
+
+
+def _cosine_table():
+    """Q8 integer DCT basis: C[u][x] = round(256 * alpha(u) * cos(...))."""
+    table = []
+    for u in range(BLOCK):
+        alpha = math.sqrt(1.0 / BLOCK) if u == 0 else math.sqrt(2.0 / BLOCK)
+        row = []
+        for x in range(BLOCK):
+            value = alpha * math.cos((2 * x + 1) * u * math.pi / (2 * BLOCK))
+            row.append(int(round(256.0 * value)))
+        table.append(row)
+    return table
+
+
+COS_TABLE = _cosine_table()
+_FLAT_COS = [value for row in COS_TABLE for value in row]
+
+
+def _forward_block(pixels):
+    """Integer forward DCT + quantization of one centred 8x8 block."""
+    centred = [p - 128 for p in pixels]
+    # Stage 1: temp[u][y] = sum_x C[u][x] * p[x][y]  (Q8)
+    temp = [[0] * BLOCK for _ in range(BLOCK)]
+    for u in range(BLOCK):
+        for y in range(BLOCK):
+            acc = 0
+            for x in range(BLOCK):
+                acc += COS_TABLE[u][x] * centred[y * BLOCK + x]
+            temp[u][y] = acc >> 8
+    # Stage 2: F[u][v] = sum_y C[v][y] * temp[u][y]  (Q8)
+    coeffs = [0] * (BLOCK * BLOCK)
+    for u in range(BLOCK):
+        for v in range(BLOCK):
+            acc = 0
+            for y in range(BLOCK):
+                acc += COS_TABLE[v][y] * temp[u][y]
+            coeffs[v * BLOCK + u] = acc >> 8
+    return [cdiv(coeffs[i], QUANT_TABLE[i]) for i in range(BLOCK * BLOCK)]
+
+
+def _inverse_block(quantized):
+    """Dequantize + integer inverse DCT; returns clamped pixels."""
+    coeffs = [quantized[i] * QUANT_TABLE[i] for i in range(BLOCK * BLOCK)]
+    temp = [[0] * BLOCK for _ in range(BLOCK)]
+    for x in range(BLOCK):
+        for v in range(BLOCK):
+            acc = 0
+            for u in range(BLOCK):
+                acc += COS_TABLE[u][x] * coeffs[v * BLOCK + u]
+            temp[x][v] = acc >> 8
+    pixels = [0] * (BLOCK * BLOCK)
+    for x in range(BLOCK):
+        for y in range(BLOCK):
+            acc = 0
+            for v in range(BLOCK):
+                acc += COS_TABLE[v][y] * temp[x][v]
+            value = (acc >> 8) + 128
+            if value < 0:
+                value = 0
+            elif value > 255:
+                value = 255
+            pixels[y * BLOCK + x] = value
+    return pixels
+
+
+def _image_blocks(scale):
+    pixels = image_block(IMAGE_SIDE, IMAGE_SIDE, seed=0xD0C7 + scale)
+    blocks = []
+    for by in range(BLOCKS_PER_SIDE):
+        for bx in range(BLOCKS_PER_SIDE):
+            block = []
+            for y in range(BLOCK):
+                row = (by * BLOCK + y) * IMAGE_SIDE + bx * BLOCK
+                block.extend(pixels[row : row + BLOCK])
+            blocks.append(block)
+    return pixels, blocks
+
+
+def _cjpeg_source(scale):
+    pixels, _blocks = _image_blocks(scale)
+    return """
+%s
+%s
+%s
+%s
+int centred[64];
+int temp[64];
+int coeffs[64];
+
+int main() {
+    int checksum = 0;
+    int total_nonzero = 0;
+    for (int block = 0; block < %d; block += 1) {
+        int by = block / %d;
+        int bx = block %% %d;
+        for (int y = 0; y < 8; y += 1) {
+            for (int x = 0; x < 8; x += 1) {
+                int pixel = image[(by * 8 + y) * %d + bx * 8 + x];
+                centred[y * 8 + x] = pixel - 128;
+            }
+        }
+        for (int u = 0; u < 8; u += 1) {
+            for (int y = 0; y < 8; y += 1) {
+                int acc = 0;
+                for (int x = 0; x < 8; x += 1) {
+                    acc += cosine[u * 8 + x] * centred[y * 8 + x];
+                }
+                temp[u * 8 + y] = acc >> 8;
+            }
+        }
+        for (int u = 0; u < 8; u += 1) {
+            for (int v = 0; v < 8; v += 1) {
+                int acc = 0;
+                for (int y = 0; y < 8; y += 1) {
+                    acc += cosine[v * 8 + y] * temp[u * 8 + y];
+                }
+                coeffs[v * 8 + u] = acc >> 8;
+            }
+        }
+        int run = 0;
+        for (int i = 0; i < 64; i += 1) {
+            int q = coeffs[zigzag[i]] / quant[zigzag[i]];
+            if (q == 0) { run += 1; }
+            else {
+                total_nonzero += 1;
+                checksum = (checksum * 31 + run) & 0xFFFFFF;
+                checksum = (checksum * 31 + (q & 0xFFFF)) & 0xFFFFFF;
+                run = 0;
+            }
+        }
+        checksum = (checksum * 31 + run) & 0xFFFFFF;
+    }
+    print_int(total_nonzero);
+    print_char(' ');
+    print_int(checksum);
+    return 0;
+}
+""" % (
+        format_int_array("image", pixels),
+        format_int_array("cosine", _FLAT_COS),
+        format_int_array("quant", QUANT_TABLE),
+        format_int_array("zigzag", ZIGZAG),
+        BLOCKS_PER_SIDE * BLOCKS_PER_SIDE,
+        BLOCKS_PER_SIDE,
+        BLOCKS_PER_SIDE,
+        IMAGE_SIDE,
+    )
+
+
+def _cjpeg_reference(scale):
+    _pixels, blocks = _image_blocks(scale)
+    checksum = 0
+    total_nonzero = 0
+    for block in blocks:
+        quantized = _forward_block(block)
+        run = 0
+        for i in range(64):
+            q = quantized[ZIGZAG[i]]
+            if q == 0:
+                run += 1
+            else:
+                total_nonzero += 1
+                checksum = (checksum * 31 + run) & 0xFFFFFF
+                checksum = (checksum * 31 + (q & 0xFFFF)) & 0xFFFFFF
+                run = 0
+        checksum = (checksum * 31 + run) & 0xFFFFFF
+    return "%d %d" % (total_nonzero, checksum)
+
+
+def _djpeg_source(scale):
+    _pixels, blocks = _image_blocks(scale)
+    quantized_all = []
+    for block in blocks:
+        quantized_all.extend(_forward_block(block))
+    return """
+%s
+%s
+%s
+int coeffs[64];
+int temp[64];
+
+int main() {
+    int checksum = 0;
+    for (int block = 0; block < %d; block += 1) {
+        int base = block * 64;
+        for (int i = 0; i < 64; i += 1) {
+            coeffs[i] = qcoeffs[base + i] * quant[i];
+        }
+        for (int x = 0; x < 8; x += 1) {
+            for (int v = 0; v < 8; v += 1) {
+                int acc = 0;
+                for (int u = 0; u < 8; u += 1) {
+                    acc += cosine[u * 8 + x] * coeffs[v * 8 + u];
+                }
+                temp[x * 8 + v] = acc >> 8;
+            }
+        }
+        for (int x = 0; x < 8; x += 1) {
+            for (int y = 0; y < 8; y += 1) {
+                int acc = 0;
+                for (int v = 0; v < 8; v += 1) {
+                    acc += cosine[v * 8 + y] * temp[x * 8 + v];
+                }
+                int value = (acc >> 8) + 128;
+                if (value < 0) { value = 0; }
+                else if (value > 255) { value = 255; }
+                checksum = (checksum * 31 + value) & 0xFFFFFF;
+            }
+        }
+    }
+    print_int(checksum);
+    return 0;
+}
+""" % (
+        format_int_array("qcoeffs", quantized_all),
+        format_int_array("cosine", _FLAT_COS),
+        format_int_array("quant", QUANT_TABLE),
+        len(blocks),
+    )
+
+
+def _djpeg_reference(scale):
+    _pixels, blocks = _image_blocks(scale)
+    checksum = 0
+    for block in blocks:
+        quantized = _forward_block(block)
+        pixels = _inverse_block(quantized)
+        # The MiniC loop visits pixels in (x, y) order: x outer, y inner.
+        for x in range(BLOCK):
+            for y in range(BLOCK):
+                checksum = (checksum * 31 + pixels[y * BLOCK + x]) & 0xFFFFFF
+    return "%d" % checksum
+
+
+CJPEG = Workload(
+    "cjpeg",
+    _cjpeg_source,
+    _cjpeg_reference,
+    "JPEG-style integer forward DCT + quantization + zigzag RLE",
+)
+
+DJPEG = Workload(
+    "djpeg",
+    _djpeg_source,
+    _djpeg_reference,
+    "JPEG-style dequantization + integer inverse DCT with clamping",
+)

@@ -1,0 +1,109 @@
+"""Motion-compensated block decoder — Mediabench ``mpeg2``.
+
+The per-macroblock core of an MPEG-2 decoder: for each 8x8 block, fetch
+a motion-compensated prediction from the reference frame (with half-pel
+horizontal interpolation when the vector's low bit is set), add the
+coded residual, clamp to 8 bits and accumulate an output checksum.
+"""
+
+from repro.workloads.base import Workload, format_int_array
+from repro.workloads.inputs import image_block, motion_vectors, small_values
+
+FRAME_SIDE = 48
+BLOCK = 8
+MARGIN = 8  # keep motion references inside the frame
+BLOCKS_PER_SCALE = 12
+
+
+def _layout(scale):
+    frame = image_block(FRAME_SIDE, FRAME_SIDE, seed=0x3E62 + scale)
+    count = BLOCKS_PER_SCALE * scale
+    vectors = motion_vectors(count, max_displacement=3, seed=0x300E + scale)
+    residuals = small_values(count * BLOCK * BLOCK, magnitude=24, seed=0x4E5 + scale)
+    positions = []
+    step = (FRAME_SIDE - 2 * MARGIN - BLOCK) or 1
+    for index in range(count):
+        bx = MARGIN + (index * 5) % step
+        by = MARGIN + (index * 11) % step
+        positions.append((bx, by))
+    return frame, vectors, residuals, positions
+
+
+def _reference(scale):
+    frame, vectors, residuals, positions = _layout(scale)
+    checksum = 0
+    for index, (bx, by) in enumerate(positions):
+        dx, dy = vectors[index]
+        half = dx & 1
+        dx >>= 1
+        for y in range(BLOCK):
+            for x in range(BLOCK):
+                sx = bx + x + dx
+                sy = by + y + dy
+                predicted = frame[sy * FRAME_SIDE + sx]
+                if half:
+                    predicted = (predicted + frame[sy * FRAME_SIDE + sx + 1] + 1) >> 1
+                value = predicted + residuals[index * 64 + y * BLOCK + x]
+                if value < 0:
+                    value = 0
+                elif value > 255:
+                    value = 255
+                checksum = (checksum * 31 + value) & 0xFFFFFF
+    return "%d" % checksum
+
+
+def _source(scale):
+    frame, vectors, residuals, positions = _layout(scale)
+    flat_vectors = [component for vector in vectors for component in vector]
+    flat_positions = [component for position in positions for component in position]
+    return """
+%s
+%s
+%s
+%s
+
+int main() {
+    int checksum = 0;
+    int count = %d;
+    for (int block = 0; block < count; block += 1) {
+        int bx = positions[2 * block];
+        int by = positions[2 * block + 1];
+        int dx = vectors[2 * block];
+        int dy = vectors[2 * block + 1];
+        int half = dx & 1;
+        dx >>= 1;
+        for (int y = 0; y < 8; y += 1) {
+            for (int x = 0; x < 8; x += 1) {
+                int sx = bx + x + dx;
+                int sy = by + y + dy;
+                int predicted = frame[sy * %d + sx];
+                if (half) {
+                    predicted = (predicted + frame[sy * %d + sx + 1] + 1) >> 1;
+                }
+                int value = predicted + residuals[block * 64 + y * 8 + x];
+                if (value < 0) { value = 0; }
+                else if (value > 255) { value = 255; }
+                checksum = (checksum * 31 + value) & 0xFFFFFF;
+            }
+        }
+    }
+    print_int(checksum);
+    return 0;
+}
+""" % (
+        format_int_array("frame", frame),
+        format_int_array("vectors", flat_vectors),
+        format_int_array("residuals", residuals),
+        format_int_array("positions", flat_positions),
+        len(positions),
+        FRAME_SIDE,
+        FRAME_SIDE,
+    )
+
+
+MPEG2_DECODE = Workload(
+    "mpeg2_decode",
+    _source,
+    _reference,
+    "MPEG-2-style motion compensation with half-pel interpolation",
+)

@@ -1,0 +1,66 @@
+"""Workload registry: name -> Workload, plus standard suite lists."""
+
+from repro.workloads.adpcm import RAWCAUDIO, RAWDAUDIO
+
+#: Names forming the Mediabench-like suite, in the paper's table order.
+MEDIABENCH_NAMES = (
+    "rawcaudio",
+    "rawdaudio",
+    "epic",
+    "unepic",
+    "g721_encode",
+    "g721_decode",
+    "gsm_toast",
+    "gsm_untoast",
+    "cjpeg",
+    "djpeg",
+    "mpeg2_decode",
+    "pegwit",
+)
+
+
+def _registry():
+    from repro.workloads.epic import EPIC, UNEPIC
+    from repro.workloads.g721 import G721_DECODE, G721_ENCODE
+    from repro.workloads.gsm import GSM_TOAST, GSM_UNTOAST
+    from repro.workloads.jpeg import CJPEG, DJPEG
+    from repro.workloads.mpeg2 import MPEG2_DECODE
+    from repro.workloads.pegwit import PEGWIT
+    from repro.workloads.synthetic import SYNTHETIC_WORKLOADS
+
+    workloads = [
+        RAWCAUDIO,
+        RAWDAUDIO,
+        EPIC,
+        UNEPIC,
+        G721_ENCODE,
+        G721_DECODE,
+        GSM_TOAST,
+        GSM_UNTOAST,
+        CJPEG,
+        DJPEG,
+        MPEG2_DECODE,
+        PEGWIT,
+    ] + list(SYNTHETIC_WORKLOADS)
+    return {workload.name: workload for workload in workloads}
+
+
+_CACHE = None
+
+
+def all_workloads():
+    """Dict of every registered workload keyed by name."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = _registry()
+    return _CACHE
+
+
+def get_workload(name):
+    """Look up one workload by name (KeyError if unknown)."""
+    return all_workloads()[name]
+
+
+def mediabench_suite():
+    """The Mediabench-like workloads, in table order."""
+    return [all_workloads()[name] for name in MEDIABENCH_NAMES]

@@ -1,0 +1,130 @@
+"""Synthetic calibration microkernels.
+
+Not part of the Mediabench-like suite; used by tests and ablations to
+pin down the extremes of the significance spectrum:
+
+* ``synth_small`` — arithmetic over narrow values: nearly every operand
+  is one significant byte (the paper's dominant ``eees`` pattern).
+* ``synth_wide``  — arithmetic over full-width values: nothing
+  compresses, activity savings must approach zero.
+* ``synth_stride``— pointer/index-heavy strided array updates whose
+  values are small but whose addresses live at the 0x10000000 data base
+  (the paper's internal-hole address pattern).
+"""
+
+from repro.workloads.base import Workload, format_int_array, to_s32
+from repro.workloads.inputs import small_values, uniform_words
+
+COUNT_PER_SCALE = 512
+
+
+def _small_source(scale):
+    values = small_values(COUNT_PER_SCALE * scale, magnitude=100, seed=0x51A11)
+    return """
+%s
+
+int main() {
+    int n = %d;
+    int total = 0;
+    int minimum = 1000000;
+    int maximum = -1000000;
+    for (int i = 0; i < n; i += 1) {
+        int v = data[i];
+        total += v;
+        if (v < minimum) { minimum = v; }
+        if (v > maximum) { maximum = v; }
+    }
+    print_int(total);
+    print_char(' ');
+    print_int(minimum);
+    print_char(' ');
+    print_int(maximum);
+    return 0;
+}
+""" % (format_int_array("data", values), len(values))
+
+
+def _small_reference(scale):
+    values = small_values(COUNT_PER_SCALE * scale, magnitude=100, seed=0x51A11)
+    return "%d %d %d" % (sum(values), min(values), max(values))
+
+
+def _wide_source(scale):
+    values = [to_s32(w) for w in uniform_words(COUNT_PER_SCALE * scale, seed=0x31DE)]
+    return """
+%s
+
+int main() {
+    int n = %d;
+    int acc = 0;
+    for (int i = 0; i < n; i += 1) {
+        acc = (acc ^ data[i]) + (data[i] >> 1);
+    }
+    print_int(acc);
+    return 0;
+}
+""" % (format_int_array("data", values), len(values))
+
+
+def _wide_reference(scale):
+    values = [to_s32(w) for w in uniform_words(COUNT_PER_SCALE * scale, seed=0x31DE)]
+    acc = 0
+    for value in values:
+        acc = to_s32((acc ^ value) + (value >> 1))
+    return "%d" % acc
+
+
+def _stride_source(scale):
+    count = COUNT_PER_SCALE * scale
+    return """
+int buffer[%d];
+
+int main() {
+    int n = %d;
+    for (int stride = 1; stride <= 8; stride *= 2) {
+        for (int i = 0; i < n; i += stride) {
+            buffer[i] = buffer[i] + stride;
+        }
+    }
+    int total = 0;
+    for (int i = 0; i < n; i += 1) { total += buffer[i]; }
+    print_int(total);
+    return 0;
+}
+""" % (count, count)
+
+
+def _stride_reference(scale):
+    count = COUNT_PER_SCALE * scale
+    buffer = [0] * count
+    for stride in (1, 2, 4, 8):
+        for index in range(0, count, stride):
+            buffer[index] += stride
+    return "%d" % sum(buffer)
+
+
+SYNTH_SMALL = Workload(
+    "synth_small",
+    _small_source,
+    _small_reference,
+    "narrow-value reduction (best-case significance compression)",
+    category="synthetic",
+)
+
+SYNTH_WIDE = Workload(
+    "synth_wide",
+    _wide_source,
+    _wide_reference,
+    "full-width-value reduction (worst-case significance compression)",
+    category="synthetic",
+)
+
+SYNTH_STRIDE = Workload(
+    "synth_stride",
+    _stride_source,
+    _stride_reference,
+    "strided array updates (address-pattern heavy)",
+    category="synthetic",
+)
+
+SYNTHETIC_WORKLOADS = (SYNTH_SMALL, SYNTH_WIDE, SYNTH_STRIDE)

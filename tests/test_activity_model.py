@@ -1,0 +1,133 @@
+"""Tests for the Section 2.9 activity accounting."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.core.extension import BYTE_SCHEME, HALFWORD_SCHEME
+from repro.pipeline.activity import STAGES, ActivityModel, ActivityReport, _average_report
+from repro.sim import Interpreter, load_program
+
+
+def trace_of(source, max_instructions=200_000):
+    program = assemble(source)
+    memory, machine = load_program(program)
+    interpreter = Interpreter(memory, machine, trace=True)
+    interpreter.run(max_instructions)
+    return interpreter.trace_records
+
+
+class TestReportMechanics:
+    def test_savings_math(self):
+        report = ActivityReport(
+            "x",
+            {stage: 100 for stage in STAGES},
+            {stage: 60 for stage in STAGES},
+            10,
+        )
+        assert report.savings("fetch") == pytest.approx(0.4)
+        assert report.savings_percent("alu") == pytest.approx(40.0)
+        assert len(report.row()) == len(STAGES)
+
+    def test_zero_baseline_yields_zero_savings(self):
+        report = ActivityReport("x", {stage: 0 for stage in STAGES},
+                                {stage: 0 for stage in STAGES}, 0)
+        assert report.savings("fetch") == 0.0
+
+    def test_average_report_weights_by_bits(self):
+        a = ActivityReport("a", {s: 100 for s in STAGES}, {s: 50 for s in STAGES}, 1)
+        b = ActivityReport("b", {s: 300 for s in STAGES}, {s: 300 for s in STAGES}, 1)
+        avg = _average_report("AVG", [a, b])
+        assert avg.savings("alu") == pytest.approx((100 - 50) / 400 + 0.0 * 300 / 400)
+
+
+class TestActivityOnSyntheticCode:
+    def test_narrow_values_save_everywhere(self):
+        source = "main:\n" + "\n".join(
+            "addiu $t0, $zero, %d\naddu $t1, $t0, $t0" % (i % 100)
+            for i in range(200)
+        ) + "\njr $ra\n"
+        report = ActivityModel().process(trace_of(source))
+        assert report.savings("rf_read") > 0.5
+        assert report.savings("rf_write") > 0.5
+        assert report.savings("alu") > 0.5
+        assert report.savings("pc") > 0.6
+
+    def test_wide_values_save_little_in_datapath(self):
+        # Destinations avoid $t1 so the wide source value never decays.
+        source = "main:\n li $t1, 0x12345678\n" + "\n".join(
+            "addu $t%d, $t1, $t1" % (2 + i % 4) for i in range(300)
+        ) + "\njr $ra\n"
+        report = ActivityModel().process(trace_of(source))
+        # Wide operands: RF and ALU savings collapse toward the
+        # extension-bit overhead (slightly negative is possible).
+        assert report.savings("rf_read") < 0.15
+        assert report.savings("alu") < 0.15
+        # Fetch savings persist (they depend on code, not data).
+        assert report.savings("fetch") > 0.05
+
+    def test_extension_overhead_can_go_negative(self):
+        # A stream of full-width register writes costs 32+3 bits vs 32.
+        source = "main:\n" + "\n".join(
+            "li $t%d, 0x7bcdef%02d" % (i % 4, i % 100) for i in range(100)
+        ) + "\njr $ra\n"
+        report = ActivityModel().process(trace_of(source))
+        assert report.savings("rf_write") < 0.05
+
+    def test_memory_activity_counted(self):
+        source = """
+        .data
+        buf: .space 256
+        .text
+        main:
+            la $t8, buf
+            li $t9, 50
+        loop:
+            sw $t9, 0($t8)
+            lw $t0, 0($t8)
+            addiu $t9, $t9, -1
+            bgtz $t9, loop
+            jr $ra
+        """
+        report = ActivityModel().process(trace_of(source))
+        assert report.baseline["dcache_data"] > 0
+        assert report.savings("dcache_data") > 0.3  # small stored values
+
+    def test_tag_savings_negligible(self):
+        source = """
+        .data
+        buf: .space 64
+        .text
+        main:
+            la $t8, buf
+            li $t9, 30
+        loop:
+            lw $t0, 0($t8)
+            addiu $t9, $t9, -1
+            bgtz $t9, loop
+            jr $ra
+        """
+        report = ActivityModel().process(trace_of(source))
+        assert -0.05 <= report.savings("dcache_tag") < 0.35
+
+    def test_halfword_scheme_saves_less(self):
+        source = "main:\n" + "\n".join(
+            "addiu $t0, $zero, %d\naddu $t1, $t0, $t0" % (i % 90)
+            for i in range(150)
+        ) + "\njr $ra\n"
+        records = trace_of(source)
+        byte_report = ActivityModel(scheme=BYTE_SCHEME).process(records)
+        half_report = ActivityModel(scheme=HALFWORD_SCHEME).process(records)
+        for stage in ("rf_read", "rf_write", "alu"):
+            assert byte_report.savings(stage) >= half_report.savings(stage) - 0.02
+
+    def test_instruction_count_recorded(self):
+        records = trace_of("main:\n li $t0, 1\n jr $ra\n")
+        report = ActivityModel().process(records)
+        assert report.instructions == len(records)
+
+    def test_compressed_never_negative_bits(self):
+        records = trace_of("main:\n li $t0, 1\n jr $ra\n")
+        report = ActivityModel().process(records)
+        for stage in STAGES:
+            assert report.compressed[stage] >= 0
+            assert report.baseline[stage] >= 0

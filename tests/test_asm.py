@@ -1,0 +1,282 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.asm import AssemblerError, DATA_BASE, TEXT_BASE, assemble
+from repro.asm.parser import (
+    AsmSyntaxError,
+    parse_integer,
+    parse_lines,
+    parse_memory_operand,
+    parse_string,
+    split_operands,
+)
+from repro.isa.disasm import disassemble
+from repro.isa.encoding import decode
+
+
+class TestParser:
+    def test_label_and_instruction_same_line(self):
+        statements = parse_lines("loop: addiu $t0, $t0, 1")
+        assert statements[0].kind == "label"
+        assert statements[0].name == "loop"
+        assert statements[1].kind == "instruction"
+        assert statements[1].name == "addiu"
+
+    def test_comments_stripped(self):
+        statements = parse_lines("add $t0, $t1, $t2 # comment\n// full line\n")
+        assert len(statements) == 1
+
+    def test_hash_inside_string_preserved(self):
+        statements = parse_lines('.asciiz "a#b"')
+        assert statements[0].operands == ['"a#b"']
+
+    def test_split_operands_respects_strings(self):
+        assert split_operands('"a,b", 3') == ['"a,b"', "3"]
+
+    def test_memory_operand(self):
+        assert parse_memory_operand("4($sp)") == ("4", "$sp")
+        assert parse_memory_operand("($t0)") == ("0", "$t0")
+        assert parse_memory_operand("-8($fp)") == ("-8", "$fp")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_memory_operand("4[$sp]")
+
+    def test_integers(self):
+        assert parse_integer("42") == 42
+        assert parse_integer("-7") == -7
+        assert parse_integer("0x10") == 16
+        assert parse_integer("'A'") == 65
+
+    def test_bad_integer(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_integer("4x2")
+
+    def test_string_escapes(self):
+        assert parse_string(r'"a\nb\0"') == "a\nb\0"
+
+    def test_unterminated_string(self):
+        with pytest.raises(AsmSyntaxError):
+            split_operands('"abc')
+
+
+class TestAssembleBasics:
+    def test_simple_program(self):
+        program = assemble(
+            """
+            .text
+            main:
+                addiu $t0, $zero, 5
+                addiu $t1, $zero, 7
+                addu  $t2, $t0, $t1
+                jr    $ra
+            """
+        )
+        assert len(program.text_words) == 4
+        assert disassemble(program.text_words[0]) == "addiu $t0, $zero, 5"
+        assert disassemble(program.text_words[2]) == "addu $t2, $t0, $t1"
+        assert program.entry == program.symbols["main"]
+
+    def test_branch_offsets(self):
+        program = assemble(
+            """
+            .text
+            main:
+            loop:
+                addiu $t0, $t0, -1
+                bne   $t0, $zero, loop
+                jr    $ra
+            """
+        )
+        branch = decode(program.text_words[1])
+        # Branch at TEXT_BASE+4 targets TEXT_BASE: offset = -2.
+        assert branch.imm == -2
+
+    def test_forward_branch(self):
+        program = assemble(
+            """
+            main:
+                beq $t0, $zero, done
+                addiu $t1, $t1, 1
+            done:
+                jr $ra
+            """
+        )
+        branch = decode(program.text_words[0])
+        assert branch.branch_target(TEXT_BASE) == TEXT_BASE + 8
+
+    def test_jump_target(self):
+        program = assemble(
+            """
+            main:
+                jal func
+                jr $ra
+            func:
+                jr $ra
+            """
+        )
+        jal = decode(program.text_words[0])
+        assert jal.jump_target(TEXT_BASE) == program.symbols["func"]
+
+    def test_data_directives(self):
+        program = assemble(
+            """
+            .data
+            table: .word 1, 2, 3
+            bytes: .byte 0x41, 0x42
+            msg:   .asciiz "hi"
+            half:  .half 0x1234
+            pad:   .space 3
+            """
+        )
+        assert program.symbols["table"] == DATA_BASE
+        assert program.data_bytes[0:4] == b"\x01\x00\x00\x00"
+        assert program.symbols["bytes"] == DATA_BASE + 12
+        assert program.data_bytes[12:14] == b"AB"
+        assert program.symbols["msg"] == DATA_BASE + 14
+        assert program.data_bytes[14:17] == b"hi\x00"
+        # .half aligns to 2.
+        assert program.symbols["half"] == DATA_BASE + 18
+
+    def test_word_alignment_after_bytes(self):
+        program = assemble(
+            """
+            .data
+            b: .byte 1
+            w: .word 0xAABBCCDD
+            """
+        )
+        assert program.symbols["w"] == DATA_BASE + 4
+        assert program.data_bytes[4:8] == b"\xdd\xcc\xbb\xaa"
+
+    def test_word_with_symbol(self):
+        program = assemble(
+            """
+            .data
+            ptr: .word msg
+            msg: .asciiz "x"
+            """
+        )
+        stored = int.from_bytes(program.data_bytes[0:4], "little")
+        assert stored == program.symbols["msg"]
+
+    def test_align_directive(self):
+        program = assemble(
+            """
+            .data
+            a: .byte 1
+            .align 2
+            b: .word 2
+            """
+        )
+        assert program.symbols["b"] == DATA_BASE + 4
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: nop\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate $t0, $t1\n")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\naddu $t0, $t1, $t2\n")
+
+    def test_branch_out_of_range_rejected(self):
+        source = "main: bne $t0, $zero, far\n" + "nop\n" * 0x9000 + "far: nop\n"
+        with pytest.raises(AssemblerError):
+            assemble(source)
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: j nowhere\n")
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        program = assemble("main: li $t0, 42\n")
+        assert len(program.text_words) == 1
+        assert disassemble(program.text_words[0]) == "addiu $t0, $zero, 42"
+
+    def test_li_negative(self):
+        program = assemble("main: li $t0, -5\n")
+        assert disassemble(program.text_words[0]) == "addiu $t0, $zero, -5"
+
+    def test_li_unsigned_16bit(self):
+        program = assemble("main: li $t0, 0xFFFF\n")
+        assert len(program.text_words) == 1
+        assert disassemble(program.text_words[0]) == "ori $t0, $zero, 0xffff"
+
+    def test_li_32bit(self):
+        program = assemble("main: li $t0, 0x12345678\n")
+        assert len(program.text_words) == 2
+        assert disassemble(program.text_words[0]) == "lui $at, 0x1234"
+        assert disassemble(program.text_words[1]) == "ori $t0, $at, 0x5678"
+
+    def test_li_upper_only(self):
+        program = assemble("main: li $t0, 0x10000\n")
+        assert len(program.text_words) == 1
+        assert disassemble(program.text_words[0]) == "lui $t0, 0x1"
+
+    def test_la(self):
+        program = assemble(
+            """
+            .data
+            buffer: .space 16
+            .text
+            main: la $t0, buffer
+            """
+        )
+        assert len(program.text_words) == 2
+        assert disassemble(program.text_words[0]) == "lui $at, 0x1000"
+        assert disassemble(program.text_words[1]) == "ori $t0, $at, 0x0"
+
+    def test_move(self):
+        program = assemble("main: move $t0, $sp\n")
+        assert disassemble(program.text_words[0]) == "addu $t0, $sp, $zero"
+
+    def test_blt_expansion(self):
+        program = assemble(
+            """
+            main:
+            loop: addiu $t0, $t0, 1
+                  blt $t0, $t1, loop
+                  jr $ra
+            """
+        )
+        assert disassemble(program.text_words[1]) == "slt $at, $t0, $t1"
+        branch = decode(program.text_words[2])
+        # The branch (third word) targets loop (first word).
+        assert branch.branch_target(TEXT_BASE + 8) == TEXT_BASE
+
+    def test_bge_uses_beq(self):
+        program = assemble("main: bge $t0, $t1, main\n")
+        assert decode(program.text_words[1]).mnemonic == "beq"
+
+    def test_bltu_unsigned(self):
+        program = assemble("main: bltu $t0, $t1, main\n")
+        assert decode(program.text_words[0]).mnemonic == "sltu"
+
+    def test_mul_expansion(self):
+        program = assemble("main: mul $t0, $t1, $t2\n")
+        assert disassemble(program.text_words[0]) == "mult $t1, $t2"
+        assert disassemble(program.text_words[1]) == "mflo $t0"
+
+    def test_neg_and_not(self):
+        program = assemble("main: neg $t0, $t1\n not $t2, $t3\n")
+        assert disassemble(program.text_words[0]) == "subu $t0, $zero, $t1"
+        assert disassemble(program.text_words[1]) == "nor $t2, $t3, $zero"
+
+    def test_nop(self):
+        program = assemble("main: nop\n")
+        assert program.text_words[0] == 0
+
+    def test_sllv_operand_order(self):
+        # sllv rd, rt, rs: value shifted is rt, amount in rs.
+        program = assemble("main: sllv $t0, $t1, $t2\n")
+        instr = decode(program.text_words[0])
+        assert instr.rd == 8
+        assert instr.rt == 9
+        assert instr.rs == 10

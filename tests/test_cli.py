@@ -1,0 +1,43 @@
+"""Tests for the repro command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == 1
+        assert args.workloads is None
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig4", "--scale", "2", "--workloads", "rawcaudio,cjpeg"]
+        )
+        assert args.scale == 2
+        assert args.workloads == "rawcaudio,cjpeg"
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+        assert "fig10" in out
+
+    def test_table2_with_workload_filter(self, capsys):
+        assert main(["table2", "--workloads", "synth_small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "8.0314" in out
+
+    def test_unknown_experiment_returns_error(self, capsys):
+        assert main(["tableX"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["table2", "--workloads", "doom3"])

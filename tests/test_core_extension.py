@@ -1,0 +1,170 @@
+"""Tests for the extension-bit significance schemes (paper Section 2.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.extension import (
+    BYTE_SCHEME,
+    HALFWORD_SCHEME,
+    TWO_BIT_SCHEME,
+    BlockScheme,
+    ThreeBitScheme,
+    TwoBitScheme,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestThreeBitScheme:
+    def test_paper_example_small_positive(self):
+        # 0x00000004 -> "- - - 04 : 11" in the 2-bit notation; under the
+        # 3-bit scheme all three upper bytes are extensions.
+        assert BYTE_SCHEME.significant_mask(0x00000004) == (True, False, False, False)
+        assert BYTE_SCHEME.significant_bytes(0x00000004) == 1
+
+    def test_paper_example_negative(self):
+        # 0xFFFFF504 -> "- - F5 04": two significant bytes.
+        assert BYTE_SCHEME.significant_mask(0xFFFFF504) == (True, True, False, False)
+        assert BYTE_SCHEME.significant_bytes(0xFFFFF504) == 2
+
+    def test_paper_example_upper_memory_address(self):
+        # 0x10000009 -> "10 - - 09 : 011": internal hole.
+        assert BYTE_SCHEME.significant_mask(0x10000009) == (True, False, False, True)
+        assert BYTE_SCHEME.ext_bits(0x10000009) == 0b011
+
+    def test_paper_example_complex(self):
+        # 0xFFE70004 -> "- E7 - 04 : 101".
+        assert BYTE_SCHEME.significant_mask(0xFFE70004) == (True, False, True, False)
+        assert BYTE_SCHEME.ext_bits(0xFFE70004) == 0b101
+
+    def test_zero_is_one_byte(self):
+        assert BYTE_SCHEME.significant_bytes(0) == 1
+
+    def test_minus_one_is_one_byte(self):
+        assert BYTE_SCHEME.significant_bytes(0xFFFFFFFF) == 1
+
+    def test_full_width_value(self):
+        assert BYTE_SCHEME.significant_bytes(0x12345678) == 4
+        assert BYTE_SCHEME.ext_bits(0x12345678) == 0
+
+    def test_stored_bits_includes_overhead(self):
+        assert BYTE_SCHEME.stored_bits(0) == 8 + 3
+        assert BYTE_SCHEME.stored_bits(0x12345678) == 32 + 3
+
+    def test_overhead_ratio_is_nine_percent(self):
+        assert BYTE_SCHEME.overhead_ratio() == pytest.approx(3 / 32)
+
+    @given(u32)
+    def test_roundtrip(self, value):
+        assert BYTE_SCHEME.reconstruct(value) == value
+
+    def test_boundary_0x80_sign_propagation(self):
+        # 0x00000080: byte1 must be significant (0x00 != sign ext 0x00?
+        # byte0=0x80 is negative so extension byte would be 0xFF).
+        assert BYTE_SCHEME.significant_mask(0x00000080) == (True, True, False, False)
+
+    def test_0xFFFFFF80_compresses_fully(self):
+        # Negative byte with proper 0xFF extensions.
+        assert BYTE_SCHEME.significant_bytes(0xFFFFFF80) == 1
+
+
+class TestTwoBitScheme:
+    def test_count_encoding_small_value(self):
+        assert TWO_BIT_SCHEME.ext_bits(0x00000004) == 3
+        assert TWO_BIT_SCHEME.significant_bytes(0x00000004) == 1
+
+    def test_no_internal_holes(self):
+        # 0x10000009 is incompressible under the 2-bit scheme.
+        assert TWO_BIT_SCHEME.significant_bytes(0x10000009) == 4
+        assert TWO_BIT_SCHEME.ext_bits(0x10000009) == 0
+
+    def test_two_significant_bytes(self):
+        assert TWO_BIT_SCHEME.ext_bits(0xFFFFF504) == 2
+        assert TWO_BIT_SCHEME.significant_mask(0xFFFFF504) == (
+            True,
+            True,
+            False,
+            False,
+        )
+
+    def test_overhead_ratio_is_six_percent(self):
+        assert TWO_BIT_SCHEME.overhead_ratio() == pytest.approx(2 / 32)
+
+    @given(u32)
+    def test_roundtrip(self, value):
+        assert TWO_BIT_SCHEME.reconstruct(value) == value
+
+    @given(u32)
+    def test_never_more_significant_bytes_than_three_bit_plus_holes(self, value):
+        # The 2-bit scheme can never store fewer bytes than the 3-bit one.
+        assert TWO_BIT_SCHEME.significant_bytes(value) >= BYTE_SCHEME.significant_bytes(
+            value
+        )
+
+    def test_decompress_validates_block_count(self):
+        with pytest.raises(ValueError):
+            TWO_BIT_SCHEME.decompress([1, 2, 3], 3)
+
+
+class TestBlockScheme:
+    def test_halfword_masks(self):
+        assert HALFWORD_SCHEME.significant_mask(0x00000004) == (True, False)
+        assert HALFWORD_SCHEME.significant_mask(0x00018000) == (True, True)
+        assert HALFWORD_SCHEME.significant_mask(0xFFFF8000) == (True, False)
+
+    def test_halfword_ext_bits(self):
+        assert HALFWORD_SCHEME.num_ext_bits == 1
+        assert HALFWORD_SCHEME.ext_bits(0x00000004) == 1
+        assert HALFWORD_SCHEME.ext_bits(0x00018000) == 0
+
+    def test_byte_blockscheme_matches_three_bit(self):
+        block8 = BlockScheme(8)
+        for value in (0, 4, 0x80, 0x10000009, 0xFFE70004, 0x12345678, 0xFFFFFFFF):
+            assert block8.significant_mask(value) == BYTE_SCHEME.significant_mask(value)
+            assert block8.ext_bits(value) == BYTE_SCHEME.ext_bits(value)
+
+    @given(u32)
+    def test_byte_blockscheme_matches_three_bit_property(self, value):
+        block8 = BlockScheme(8)
+        assert block8.significant_mask(value) == BYTE_SCHEME.significant_mask(value)
+
+    @given(u32)
+    def test_halfword_roundtrip(self, value):
+        assert HALFWORD_SCHEME.reconstruct(value) == value
+
+    @pytest.mark.parametrize("block_bits", [1, 2, 4, 8, 16, 32])
+    def test_valid_widths(self, block_bits):
+        scheme = BlockScheme(block_bits)
+        assert scheme.num_blocks * block_bits == 32
+
+    @pytest.mark.parametrize("block_bits", [0, -8, 3, 5, 7, 9, 24, 64])
+    def test_invalid_widths_rejected(self, block_bits):
+        with pytest.raises(ValueError):
+            BlockScheme(block_bits)
+
+    @given(u32, st.sampled_from([1, 2, 4, 8, 16]))
+    def test_roundtrip_any_width(self, value, block_bits):
+        assert BlockScheme(block_bits).reconstruct(value) == value
+
+    @given(u32)
+    def test_coarser_granularity_never_stores_less(self, value):
+        # Halfword granularity stores at least as many bits as byte.
+        assert HALFWORD_SCHEME.datapath_bits(value) >= BYTE_SCHEME.datapath_bits(value)
+
+
+class TestDecompressValidation:
+    def test_missing_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            BYTE_SCHEME.decompress([0x04], 0b000)
+
+    def test_extra_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            BYTE_SCHEME.decompress([0x04, 0x05], 0b111)
+
+    def test_names_are_distinct(self):
+        assert len({BYTE_SCHEME.name, TWO_BIT_SCHEME.name, HALFWORD_SCHEME.name}) == 3
+
+    def test_scheme_instances(self):
+        assert isinstance(BYTE_SCHEME, ThreeBitScheme)
+        assert isinstance(TWO_BIT_SCHEME, TwoBitScheme)

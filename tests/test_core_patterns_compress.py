@@ -1,0 +1,158 @@
+"""Tests for pattern statistics (Table 1) and CompressedWord storage."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.compress import CompressedWord, compress, compression_ratio
+from repro.core.extension import BYTE_SCHEME, HALFWORD_SCHEME, TWO_BIT_SCHEME
+from repro.core.patterns import ALL_PATTERNS, PatternCounter, pattern_of
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestPatternOf:
+    def test_small_value_is_eees(self):
+        assert pattern_of(0x00000004) == "eees"
+
+    def test_full_width_is_ssss(self):
+        assert pattern_of(0x12345678) == "ssss"
+
+    def test_address_with_hole_is_sees(self):
+        assert pattern_of(0x10000009) == "sees"
+
+    def test_paper_sess_example(self):
+        # 0xFFE70004 -> "- E7 - 04": significant at bytes 2 and 0.
+        assert pattern_of(0xFFE70004) == "eses"
+
+    def test_two_byte_value_is_eess(self):
+        assert pattern_of(0xFFFFF504) == "eess"
+
+    def test_halfword_patterns_have_two_chars(self):
+        assert pattern_of(0x00000004, HALFWORD_SCHEME) == "es"
+        assert pattern_of(0x00018000, HALFWORD_SCHEME) == "ss"
+
+    @given(u32)
+    def test_pattern_always_ends_significant(self, value):
+        assert pattern_of(value).endswith("s")
+
+    @given(u32)
+    def test_pattern_in_known_set(self, value):
+        assert pattern_of(value) in ALL_PATTERNS
+
+
+class TestPatternCounter:
+    def test_frequencies(self):
+        counter = PatternCounter()
+        counter.record_many([1, 2, 3, 0x12345678])
+        assert counter.frequency("eees") == pytest.approx(0.75)
+        assert counter.frequency("ssss") == pytest.approx(0.25)
+
+    def test_table_is_sorted_with_cumulative(self):
+        counter = PatternCounter()
+        counter.record_many([1, 1, 1, 0x12345678, 0x10000009])
+        rows = counter.table()
+        assert rows[0][0] == "eees"
+        assert rows[-1][2] == pytest.approx(100.0)
+        percents = [row[1] for row in rows]
+        assert percents == sorted(percents, reverse=True)
+
+    def test_average_significant_bytes(self):
+        counter = PatternCounter()
+        counter.record_many([1, 0x12345678])
+        assert counter.average_significant_bytes() == pytest.approx(2.5)
+
+    def test_merge(self):
+        left = PatternCounter()
+        right = PatternCounter()
+        left.record(1)
+        right.record(0x12345678)
+        left.merge(right)
+        assert left.total == 2
+        assert left.frequency("ssss") == pytest.approx(0.5)
+
+    def test_merge_rejects_different_schemes(self):
+        left = PatternCounter(BYTE_SCHEME)
+        right = PatternCounter(HALFWORD_SCHEME)
+        with pytest.raises(ValueError):
+            left.merge(right)
+
+    def test_two_bit_representable_fraction(self):
+        counter = PatternCounter()
+        counter.record_many([1, 0x12345678, 0x10000009, 0xFFFFF504])
+        # eees, ssss, eess are 2-bit representable; sees is not.
+        assert counter.two_bit_representable_fraction() == pytest.approx(0.75)
+
+    def test_top_coverage(self):
+        counter = PatternCounter()
+        counter.record_many([1, 1, 1, 0x12345678])
+        assert counter.top_coverage(1) == pytest.approx(0.75)
+        assert counter.top_coverage(2) == pytest.approx(1.0)
+
+    def test_empty_counter_metrics(self):
+        counter = PatternCounter()
+        assert counter.frequency("eees") == 0.0
+        assert counter.average_significant_bytes() == 0.0
+        assert counter.top_coverage(4) == 0.0
+        assert counter.table() == []
+
+    def test_weighted_record(self):
+        counter = PatternCounter()
+        counter.record(1, weight=9)
+        counter.record(0x12345678, weight=1)
+        assert counter.frequency("eees") == pytest.approx(0.9)
+
+
+class TestCompressedWord:
+    @given(u32)
+    def test_roundtrip_three_bit(self, value):
+        assert compress(value, BYTE_SCHEME).decompress() == value
+
+    @given(u32)
+    def test_roundtrip_two_bit(self, value):
+        assert compress(value, TWO_BIT_SCHEME).decompress() == value
+
+    @given(u32)
+    def test_roundtrip_halfword(self, value):
+        assert compress(value, HALFWORD_SCHEME).decompress() == value
+
+    def test_storage_bits_small_value(self):
+        word = compress(0x00000004)
+        assert word.storage_bits == 8 + 3
+        assert word.datapath_bits == 8
+
+    def test_storage_bits_full_value(self):
+        word = compress(0x12345678)
+        assert word.storage_bits == 32 + 3
+
+    def test_equality_and_hash(self):
+        assert compress(4) == compress(4)
+        assert compress(4) != compress(5)
+        assert len({compress(4), compress(4), compress(5)}) == 2
+
+    def test_repr_mentions_scheme(self):
+        assert "byte3" in repr(compress(4))
+
+    @given(u32)
+    def test_stored_blocks_match_scheme_count(self, value):
+        word = compress(value)
+        assert word.num_significant_blocks == BYTE_SCHEME.significant_blocks(value)
+
+
+class TestCompressionRatio:
+    def test_small_values_compress_well(self):
+        ratio = compression_ratio([1, 2, 3, 4])
+        assert ratio == pytest.approx((8 + 3) / 32)
+
+    def test_full_width_values_pay_overhead(self):
+        ratio = compression_ratio([0x12345678] * 4)
+        assert ratio == pytest.approx(35 / 32)
+
+    def test_empty_stream(self):
+        assert compression_ratio([]) == 0.0
+
+    def test_two_bit_scheme_lower_overhead(self):
+        values = [0x12345678] * 10
+        assert compression_ratio(values, TWO_BIT_SCHEME) < compression_ratio(
+            values, BYTE_SCHEME
+        )

@@ -1,0 +1,148 @@
+"""Tests for the PC-increment model (paper Section 2.2, Table 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pc import (
+    BlockSerialPC,
+    expected_activity_bits,
+    expected_latency_cycles,
+    table2_rows,
+)
+
+#: The paper's Table 2, exactly as printed (block size -> activity, latency).
+PAPER_TABLE2 = {
+    1: (2.0000, 2.0000),
+    2: (2.6667, 1.3333),
+    3: (3.4286, 1.1429),
+    4: (4.2667, 1.0667),
+    5: (5.1613, 1.0323),
+    6: (6.0952, 1.0159),
+    7: (7.0551, 1.0079),
+    8: (8.0314, 1.0039),
+}
+
+
+class TestAnalyticModel:
+    @pytest.mark.parametrize("block_bits", sorted(PAPER_TABLE2))
+    def test_activity_matches_paper(self, block_bits):
+        expected_activity, _ = PAPER_TABLE2[block_bits]
+        width = 32 if 32 % block_bits == 0 else block_bits * (32 // block_bits + 1)
+        measured = expected_activity_bits(block_bits, width=width)
+        assert measured == pytest.approx(expected_activity, abs=5e-4)
+
+    @pytest.mark.parametrize("block_bits", sorted(PAPER_TABLE2))
+    def test_latency_matches_paper(self, block_bits):
+        _, expected_latency = PAPER_TABLE2[block_bits]
+        width = 32 if 32 % block_bits == 0 else block_bits * (32 // block_bits + 1)
+        measured = expected_latency_cycles(block_bits, width=width)
+        assert measured == pytest.approx(expected_latency, abs=5e-4)
+
+    def test_table2_rows_shape(self):
+        rows = table2_rows(max_block_bits=8)
+        # Widths that divide 32: 1, 2, 4, 8.
+        assert [row[0] for row in rows] == [1, 2, 4, 8]
+
+    def test_activity_monotonic_in_block_size(self):
+        values = [expected_activity_bits(b) for b in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_latency_decreasing_in_block_size(self):
+        values = [expected_latency_cycles(b) for b in (1, 2, 4, 8, 16)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_block_width_rejected(self):
+        with pytest.raises(ValueError):
+            expected_activity_bits(0)
+        with pytest.raises(ValueError):
+            expected_latency_cycles(5)
+
+
+class TestBlockSerialPC:
+    def test_sequential_increment_touches_low_block(self):
+        pc = BlockSerialPC(block_bits=8, initial_pc=0x00400000)
+        assert pc.increment() == 1
+        assert pc.pc == 0x00400004
+
+    def test_carry_propagates_to_second_block(self):
+        pc = BlockSerialPC(block_bits=8, initial_pc=0x004000FC)
+        assert pc.increment() == 2
+        assert pc.pc == 0x00400100
+
+    def test_full_carry_chain(self):
+        pc = BlockSerialPC(block_bits=8, initial_pc=0x00FFFFFC)
+        assert pc.increment() == 4
+        assert pc.pc == 0x01000000
+
+    def test_redirect_counts_changed_blocks(self):
+        pc = BlockSerialPC(block_bits=8, initial_pc=0x00400000)
+        touched = pc.redirect(0x00400100)
+        assert touched == 1
+        assert pc.pc == 0x00400100
+
+    def test_redirect_to_same_pc_touches_nothing(self):
+        pc = BlockSerialPC(block_bits=8, initial_pc=0x00400000)
+        assert pc.redirect(0x00400000) == 0
+
+    def test_redirect_costs_one_cycle(self):
+        pc = BlockSerialPC(block_bits=8, initial_pc=0)
+        pc.redirect(0xDEADBEEF)
+        assert pc.cycles == 1
+
+    def test_sequential_average_approaches_table2(self):
+        """A long sequential run lands near the analytic Table 2 value.
+
+        Table 2 models a +1 counter; a +4 PC reaches the byte-1 carry
+        every 64 updates instead of every 256, so the measured average is
+        slightly *above* 8.0314 but must stay far below the 32-bit
+        baseline.
+        """
+        pc = BlockSerialPC(block_bits=8, initial_pc=0)
+        for _ in range(4096):
+            pc.increment()
+        assert pc.average_bits_per_update() == pytest.approx(
+            expected_activity_bits(8), rel=0.05
+        )
+        assert pc.average_bits_per_update() < 9.0
+
+    def test_activity_savings_high_for_sequential_code(self):
+        pc = BlockSerialPC(block_bits=8, initial_pc=0x00400000)
+        for _ in range(1000):
+            pc.increment()
+        assert pc.activity_savings() > 0.7
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_increment_semantics(self, start):
+        pc = BlockSerialPC(block_bits=8, initial_pc=start)
+        pc.increment()
+        assert pc.pc == (start + 4) & 0xFFFFFFFF
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.sampled_from([1, 2, 4, 8, 16, 32]),
+    )
+    def test_increment_semantics_any_block(self, start, block_bits):
+        pc = BlockSerialPC(block_bits=block_bits, initial_pc=start)
+        pc.increment()
+        assert pc.pc == (start + 4) & 0xFFFFFFFF
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_redirect_semantics(self, start, target):
+        pc = BlockSerialPC(block_bits=8, initial_pc=start)
+        pc.redirect(target)
+        assert pc.pc == target
+
+    def test_32bit_block_is_baseline(self):
+        pc = BlockSerialPC(block_bits=32, initial_pc=0)
+        for _ in range(100):
+            pc.increment()
+        assert pc.average_bits_per_update() == 32.0
+        assert pc.activity_savings() == 0.0
+
+    def test_invalid_block_width_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSerialPC(block_bits=5)

@@ -1,0 +1,96 @@
+"""Tests for the first-order energy model and memory-extension ablation."""
+
+import pytest
+
+from repro.pipeline import ActivityModel, simulate
+from repro.pipeline.activity import STAGES, ActivityReport
+from repro.pipeline.energy import DEFAULT_WEIGHTS, EnergyEstimate, EnergyModel
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def rawcaudio_records():
+    return get_workload("rawcaudio").trace(scale=1)
+
+
+def make_report(baseline=100, compressed=60):
+    return ActivityReport(
+        "x",
+        {stage: baseline for stage in STAGES},
+        {stage: compressed for stage in STAGES},
+        10,
+    )
+
+
+class TestEnergyModel:
+    def test_default_weights_cover_all_stages(self):
+        assert set(DEFAULT_WEIGHTS) == set(STAGES)
+
+    def test_uniform_activity_reduction_passes_through(self):
+        model = EnergyModel()
+        baseline, compressed = model.weigh(make_report(100, 60))
+        assert compressed / baseline == pytest.approx(0.6)
+
+    def test_custom_weights(self):
+        model = EnergyModel(weights={"alu": 10.0})
+        assert model.weights["alu"] == 10.0
+        assert model.weights["fetch"] == DEFAULT_WEIGHTS["fetch"]
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(weights={"rocket": 1.0})
+
+    def test_estimate_on_real_trace(self, rawcaudio_records):
+        report = ActivityModel().process(rawcaudio_records)
+        result = simulate("byte_serial", rawcaudio_records)
+        estimate = EnergyModel().estimate(report, result)
+        # Media workload: substantial energy savings.
+        assert 0.2 < estimate.energy_savings < 0.8
+        assert estimate.energy_per_instruction() > 0
+
+    def test_edp_tradeoff_shape(self, rawcaudio_records):
+        """Skewed+bypasses must win EDP by a wide margin over byte-serial."""
+        report = ActivityModel().process(rawcaudio_records)
+        baseline_cpi = simulate("baseline32", rawcaudio_records).cpi
+        model = EnergyModel()
+        serial = model.estimate(report, simulate("byte_serial", rawcaudio_records))
+        bypass = model.estimate(
+            report, simulate("parallel_skewed_bypass", rawcaudio_records)
+        )
+        assert bypass.energy_delay_product(baseline_cpi) < serial.energy_delay_product(
+            baseline_cpi
+        )
+        # Compression should win energy-delay outright for this codec.
+        assert bypass.energy_delay_product(baseline_cpi) < 1.0
+
+    def test_estimate_repr(self, rawcaudio_records):
+        report = ActivityModel().process(rawcaudio_records)
+        estimate = EnergyModel().estimate(
+            report, simulate("baseline32", rawcaudio_records)
+        )
+        assert "saved" in repr(estimate)
+
+    def test_zero_division_guards(self):
+        estimate = EnergyEstimate("x", 0, 0, 0, 0.0)
+        assert estimate.energy_savings == 0.0
+        assert estimate.energy_per_instruction() == 0.0
+        assert estimate.energy_delay_product(1.0) == 0.0
+
+
+class TestMemoryExtensionAblation:
+    def test_in_memory_extension_bits_save_more_on_fills(self, rawcaudio_records):
+        regenerated = ActivityModel(ext_bits_in_memory=False).process(
+            rawcaudio_records
+        )
+        maintained = ActivityModel(ext_bits_in_memory=True).process(rawcaudio_records)
+        assert maintained.savings("dcache_data") >= regenerated.savings("dcache_data")
+
+    def test_other_stages_unaffected(self, rawcaudio_records):
+        regenerated = ActivityModel(ext_bits_in_memory=False).process(
+            rawcaudio_records
+        )
+        maintained = ActivityModel(ext_bits_in_memory=True).process(rawcaudio_records)
+        for stage in ("fetch", "rf_read", "alu", "pc", "latches"):
+            assert maintained.savings(stage) == pytest.approx(
+                regenerated.savings(stage)
+            )

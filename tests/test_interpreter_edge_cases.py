@@ -1,0 +1,227 @@
+"""Interpreter edge-case semantics: wrap-around, HI/LO, addressing."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim import Interpreter, SimulationError, load_program
+
+
+def run_asm(source, max_instructions=100_000):
+    program = assemble(source)
+    memory, machine = load_program(program)
+    interpreter = Interpreter(memory, machine, trace=False)
+    interpreter.run(max_instructions)
+    return interpreter
+
+
+class TestArithmeticWraparound:
+    def test_add_wraps_silently(self):
+        # Our ADD behaves like ADDU (no overflow trap); both wrap mod 2^32.
+        interpreter = run_asm(
+            """
+            main:
+                li   $t0, 0x7FFFFFFF
+                li   $t1, 1
+                addu $v0, $t0, $t1
+                add  $v1, $t0, $t1
+                jr   $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 0x80000000
+        assert interpreter.machine.read(3) == 0x80000000
+
+    def test_sub_wraps(self):
+        interpreter = run_asm(
+            "main:\n li $t0, 0\n li $t1, 1\n subu $v0, $t0, $t1\n jr $ra\n"
+        )
+        assert interpreter.machine.read(2) == 0xFFFFFFFF
+
+    def test_multu_vs_mult_hi(self):
+        interpreter = run_asm(
+            """
+            main:
+                li    $t0, -1
+                li    $t1, 2
+                mult  $t0, $t1
+                mfhi  $v0
+                multu $t0, $t1
+                mfhi  $v1
+                jr    $ra
+            """
+        )
+        # Signed: -1 * 2 = -2 -> HI = 0xFFFFFFFF.
+        assert interpreter.machine.read(2) == 0xFFFFFFFF
+        # Unsigned: 0xFFFFFFFF * 2 = 0x1FFFFFFFE -> HI = 1.
+        assert interpreter.machine.read(3) == 1
+
+    def test_mthi_mtlo(self):
+        interpreter = run_asm(
+            """
+            main:
+                li   $t0, 77
+                mthi $t0
+                li   $t1, 88
+                mtlo $t1
+                mfhi $v0
+                mflo $v1
+                jr   $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 77
+        assert interpreter.machine.read(3) == 88
+
+    def test_divu_unsigned_semantics(self):
+        interpreter = run_asm(
+            """
+            main:
+                li   $t0, -2
+                li   $t1, 3
+                divu $t0, $t1
+                mflo $v0
+                jr   $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 0xFFFFFFFE // 3
+
+    def test_sra_vs_srl_on_negative(self):
+        interpreter = run_asm(
+            """
+            main:
+                li  $t0, 0x80000000
+                sra $v0, $t0, 31
+                srl $v1, $t0, 31
+                jr  $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 0xFFFFFFFF
+        assert interpreter.machine.read(3) == 1
+
+    def test_variable_shift_masks_to_five_bits(self):
+        interpreter = run_asm(
+            """
+            main:
+                li   $t0, 1
+                li   $t1, 33
+                sllv $v0, $t0, $t1
+                jr   $ra
+            """
+        )
+        # Shift amount 33 & 31 == 1.
+        assert interpreter.machine.read(2) == 2
+
+
+class TestAddressing:
+    def test_negative_offsets(self):
+        interpreter = run_asm(
+            """
+            .data
+            pad:  .word 0
+            slot: .word 1234
+            .text
+            main:
+                la $t0, slot
+                addiu $t0, $t0, 8
+                lw $v0, -8($t0)
+                jr $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 1234
+
+    def test_byte_store_does_not_clobber_neighbours(self):
+        interpreter = run_asm(
+            """
+            .data
+            word: .word 0x11223344
+            .text
+            main:
+                la $t0, word
+                li $t1, 0xAA
+                sb $t1, 1($t0)
+                lw $v0, 0($t0)
+                jr $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 0x1122AA44
+
+    def test_halfword_store(self):
+        interpreter = run_asm(
+            """
+            .data
+            word: .word 0x11223344
+            .text
+            main:
+                la $t0, word
+                li $t1, 0xBEEF
+                sh $t1, 2($t0)
+                lw $v0, 0($t0)
+                jr $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 0xBEEF3344
+
+    def test_lui_ori_address_formation(self):
+        interpreter = run_asm(
+            """
+            main:
+                lui $t0, 0x1000
+                ori $v0, $t0, 0x0009
+                jr  $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 0x10000009
+
+
+class TestControlEdgeCases:
+    def test_branch_to_self_terminates_via_counter(self):
+        with pytest.raises(SimulationError):
+            run_asm("main: b main\n", max_instructions=50)
+
+    def test_beq_on_equal_wide_values(self):
+        interpreter = run_asm(
+            """
+            main:
+                li  $t0, 0x12345678
+                li  $t1, 0x12345678
+                li  $v0, 0
+                beq $t0, $t1, yes
+                jr  $ra
+            yes:
+                li  $v0, 1
+                jr  $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 1
+
+    def test_bltz_bgez_boundary_at_zero(self):
+        interpreter = run_asm(
+            """
+            main:
+                li   $t0, 0
+                li   $v0, 0
+                bltz $t0, neg
+                bgez $t0, pos
+                jr   $ra
+            neg:
+                li   $v0, 1
+                jr   $ra
+            pos:
+                li   $v0, 2
+                jr   $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 2
+
+    def test_step_returns_record_when_tracing(self):
+        program = assemble("main: li $t0, 1\n jr $ra\n")
+        memory, machine = load_program(program)
+        interpreter = Interpreter(memory, machine, trace=True)
+        record = interpreter.step()
+        assert record is not None
+        assert record.instr.mnemonic in ("addiu", "ori")
+
+    def test_halted_interpreter_stays_halted(self):
+        interpreter = run_asm("main: jr $ra\n")
+        assert interpreter.halted
+        count = interpreter.instructions_executed
+        interpreter.run()
+        assert interpreter.instructions_executed == count

@@ -1,0 +1,218 @@
+"""Tests for the MIPS-like ISA substrate (encode/decode/disassemble)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import DecodeError, NOP, decode, encode, i_type, j_type, r_type
+from repro.isa.disasm import disassemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Funct, InstrClass, Opcode, classify
+from repro.isa.registers import REGISTER_NAMES, register_name, register_number
+
+reg = st.integers(min_value=0, max_value=31)
+imm16 = st.integers(min_value=-0x8000, max_value=0x7FFF)
+shamt5 = st.integers(min_value=0, max_value=31)
+
+R_FUNCTS = [
+    Funct.ADD, Funct.ADDU, Funct.SUB, Funct.SUBU, Funct.AND, Funct.OR,
+    Funct.XOR, Funct.NOR, Funct.SLT, Funct.SLTU, Funct.SLLV, Funct.SRLV,
+    Funct.SRAV,
+]
+I_OPCODES = [
+    Opcode.ADDI, Opcode.ADDIU, Opcode.SLTI, Opcode.SLTIU, Opcode.ANDI,
+    Opcode.ORI, Opcode.XORI, Opcode.LW, Opcode.SW, Opcode.LB, Opcode.LBU,
+    Opcode.LH, Opcode.LHU, Opcode.SB, Opcode.SH, Opcode.BEQ, Opcode.BNE,
+]
+
+
+class TestRegisters:
+    def test_abi_names(self):
+        assert register_name(0) == "zero"
+        assert register_name(29) == "sp"
+        assert register_name(31) == "ra"
+
+    def test_name_lookup(self):
+        assert register_number("$sp") == 29
+        assert register_number("sp") == 29
+        assert register_number("$4") == 4
+        assert register_number("s8") == 30
+
+    def test_32_unique_names(self):
+        assert len(set(REGISTER_NAMES)) == 32
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            register_number("$bogus")
+
+    def test_out_of_range_number_raises(self):
+        with pytest.raises(ValueError):
+            register_number("$32")
+
+
+class TestEncodeDecode:
+    @given(st.sampled_from(R_FUNCTS), reg, reg, reg)
+    def test_r_format_roundtrip(self, funct, rd, rs, rt):
+        word = r_type(funct, rd=rd, rs=rs, rt=rt)
+        instr = decode(word)
+        assert instr.opcode == Opcode.SPECIAL
+        assert instr.funct == funct
+        assert (instr.rd, instr.rs, instr.rt) == (rd, rs, rt)
+
+    @given(st.sampled_from(I_OPCODES), reg, reg, imm16)
+    def test_i_format_roundtrip(self, opcode, rt, rs, imm):
+        word = i_type(opcode, rt=rt, rs=rs, imm=imm)
+        instr = decode(word)
+        assert instr.opcode == opcode
+        assert (instr.rt, instr.rs) == (rt, rs)
+        assert instr.imm == imm
+
+    @given(st.integers(min_value=0, max_value=(1 << 26) - 1))
+    def test_j_format_roundtrip(self, target):
+        instr = decode(j_type(Opcode.J, target))
+        assert instr.target == target
+
+    @given(st.sampled_from([Funct.SLL, Funct.SRL, Funct.SRA]), reg, reg, shamt5)
+    def test_shift_roundtrip(self, funct, rd, rt, shamt):
+        instr = decode(r_type(funct, rd=rd, rt=rt, shamt=shamt))
+        assert instr.shamt == shamt
+
+    def test_nop_decodes(self):
+        instr = decode(NOP)
+        assert instr.is_nop
+
+    def test_unsupported_opcode_raises(self):
+        with pytest.raises(DecodeError):
+            decode(0x3F << 26)
+
+    def test_unsupported_funct_raises(self):
+        with pytest.raises(DecodeError):
+            decode(0x3F)  # SPECIAL with funct 0x3F
+
+    def test_out_of_range_word_raises(self):
+        with pytest.raises(DecodeError):
+            decode(1 << 32)
+
+    def test_immediate_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            encode(Opcode.ADDI, imm=0x10000)
+
+    def test_jump_target_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            encode(Opcode.J, target=1 << 26)
+
+
+class TestInstructionProperties:
+    def test_load_sources_and_dest(self):
+        instr = decode(i_type(Opcode.LW, rt=8, rs=29, imm=4))
+        assert instr.source_registers() == (29,)
+        assert instr.destination_register() == 8
+        assert instr.is_load
+        assert instr.memory_size == 4
+
+    def test_store_sources_no_dest(self):
+        instr = decode(i_type(Opcode.SW, rt=8, rs=29, imm=4))
+        assert set(instr.source_registers()) == {29, 8}
+        assert instr.destination_register() is None
+        assert instr.is_store
+
+    def test_branch_properties(self):
+        instr = decode(i_type(Opcode.BEQ, rt=9, rs=8, imm=-2))
+        assert instr.is_branch
+        assert instr.is_control
+        assert instr.destination_register() is None
+        assert instr.branch_target(0x1000) == 0x1000 + 4 - 8
+
+    def test_jal_writes_ra(self):
+        instr = decode(j_type(Opcode.JAL, 0x00400400 >> 2))
+        assert instr.destination_register() == 31
+        assert instr.jump_target(0x00400000) == 0x00400400
+
+    def test_jr_reads_rs(self):
+        instr = decode(r_type(Funct.JR, rs=31))
+        assert instr.source_registers() == (31,)
+        assert instr.destination_register() is None
+        assert instr.is_jump
+
+    def test_write_to_zero_is_discarded(self):
+        instr = decode(r_type(Funct.ADDU, rd=0, rs=1, rt=2))
+        assert instr.destination_register() is None
+
+    def test_shift_reads_rt_only(self):
+        instr = decode(r_type(Funct.SLL, rd=8, rt=9, shamt=2))
+        assert instr.source_registers() == (9,)
+
+    def test_lui_reads_nothing(self):
+        instr = decode(i_type(Opcode.LUI, rt=8, imm=0x1234))
+        assert instr.source_registers() == ()
+        assert instr.destination_register() == 8
+
+    def test_mult_writes_no_gpr(self):
+        instr = decode(r_type(Funct.MULT, rs=8, rt=9))
+        assert instr.destination_register() is None
+        assert instr.iclass is InstrClass.MULDIV
+
+    def test_mflo_reads_no_gpr(self):
+        instr = decode(r_type(Funct.MFLO, rd=8))
+        assert instr.source_registers() == ()
+        assert instr.destination_register() == 8
+
+    def test_needs_adder_for_memory_and_branches(self):
+        assert decode(i_type(Opcode.LW, rt=8, rs=29)).needs_adder
+        assert decode(i_type(Opcode.BEQ, rs=8, rt=9)).needs_adder
+        assert decode(r_type(Funct.ADDU, rd=1, rs=2, rt=3)).needs_adder
+        assert not decode(r_type(Funct.AND, rd=1, rs=2, rt=3)).needs_adder
+        assert not decode(i_type(Opcode.ORI, rt=8, rs=8, imm=1)).needs_adder
+
+    def test_classify_system(self):
+        assert classify(Opcode.SPECIAL, Funct.SYSCALL) is InstrClass.SYSTEM
+
+    def test_equality_is_by_word(self):
+        a = decode(r_type(Funct.ADDU, rd=1, rs=2, rt=3))
+        b = decode(r_type(Funct.ADDU, rd=1, rs=2, rt=3))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDisassembler:
+    def test_nop(self):
+        assert disassemble(NOP) == "nop"
+
+    def test_r_format(self):
+        word = r_type(Funct.ADDU, rd=2, rs=4, rt=5)
+        assert disassemble(word) == "addu $v0, $a0, $a1"
+
+    def test_shift(self):
+        assert disassemble(r_type(Funct.SLL, rd=8, rt=9, shamt=4)) == "sll $t0, $t1, 4"
+
+    def test_load(self):
+        assert disassemble(i_type(Opcode.LW, rt=8, rs=29, imm=-4)) == "lw $t0, -4($sp)"
+
+    def test_branch_with_pc(self):
+        word = i_type(Opcode.BNE, rs=8, rt=0, imm=-3)
+        assert disassemble(word, pc=0x1000) == "bne $t0, $zero, 0xff8"
+
+    def test_jump_with_pc(self):
+        word = j_type(Opcode.JAL, 0x00400400 >> 2)
+        assert disassemble(word, pc=0x00400000) == "jal 0x400400"
+
+    def test_lui_hex(self):
+        assert disassemble(i_type(Opcode.LUI, rt=8, imm=0x1000)) == "lui $t0, 0x1000"
+
+    def test_logical_immediate_hex(self):
+        assert disassemble(i_type(Opcode.ORI, rt=8, rs=9, imm=0xFF)) == (
+            "ori $t0, $t1, 0xff"
+        )
+
+    def test_syscall(self):
+        assert disassemble(r_type(Funct.SYSCALL)) == "syscall"
+
+    def test_muldiv_two_operand_form(self):
+        assert disassemble(r_type(Funct.MULT, rs=8, rt=9)) == "mult $t0, $t1"
+        assert disassemble(r_type(Funct.MFLO, rd=2)) == "mflo $v0"
+
+    def test_regimm(self):
+        word = i_type(Opcode.REGIMM, rt=0, rs=8, imm=4)
+        assert disassemble(word) == "bltz $t0, 4"
+        word = i_type(Opcode.REGIMM, rt=1, rs=8, imm=4)
+        assert disassemble(word) == "bgez $t0, 4"

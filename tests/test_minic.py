@@ -1,0 +1,435 @@
+"""End-to-end tests for the MiniC compiler.
+
+Every test compiles source, assembles it, runs it on the functional
+simulator and checks the printed output — exercising the full substrate
+stack exactly as the workloads do.
+"""
+
+import pytest
+
+from repro.minic import CompileError, compile_program, compile_to_asm
+from repro.minic.lexer import LexError, tokenize
+from repro.minic.parser import ParseError, parse
+from repro.sim import Interpreter, load_program
+
+
+def run_minic(source, max_instructions=2_000_000):
+    """Compile and run; returns the program's printed output."""
+    program = compile_program(source)
+    memory, machine = load_program(program)
+    interpreter = Interpreter(memory, machine, trace=False)
+    interpreter.run(max_instructions)
+    return interpreter.output_text
+
+
+class TestLexer:
+    def test_numbers_and_ops(self):
+        tokens = tokenize("x = 0x10 + 42;")
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["ident", "=", "number", "+", "number", ";"]
+        assert tokens[2].value == 16
+
+    def test_char_literals(self):
+        tokens = tokenize("'A' '\\n'")
+        assert [token.value for token in tokens] == [65, 10]
+
+    def test_comments(self):
+        tokens = tokenize("a // line\n /* block\nblock */ b")
+        assert [token.value for token in tokens] == ["a", "b"]
+
+    def test_multichar_operators(self):
+        tokens = tokenize("a <<= b >> c <= d == e")
+        kinds = [token.kind for token in tokens]
+        assert kinds == ["ident", "<<=", "ident", ">>", "ident", "<=", "ident",
+                         "==", "ident"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("int @;")
+
+
+class TestParser:
+    def test_function_shape(self):
+        tree = parse("int f(int a, int *b) { return a; }")
+        function = tree.declarations[0]
+        assert function.name == "f"
+        assert function.params == [("a", False), ("b", True)]
+        assert function.returns_value
+
+    def test_array_param(self):
+        tree = parse("void f(int a[]) { }")
+        assert tree.declarations[0].params == [("a", True)]
+
+    def test_precedence(self):
+        tree = parse("int f() { return 1 + 2 * 3; }")
+        add = tree.declarations[0].body.statements[0].value
+        assert add.op == "+"
+        assert add.right.op == "*"
+
+    def test_global_array_initializer(self):
+        tree = parse("int t[4] = {1, 2, 3};")
+        declaration = tree.declarations[0]
+        assert declaration.array_size == 4
+        assert declaration.initializer == [1, 2, 3]
+
+    def test_const_expr_folding(self):
+        tree = parse("int x = 3 * 4 + (1 << 4);")
+        assert tree.declarations[0].initializer == 28
+
+    def test_non_constant_global_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int g(); int x = g();")
+
+    def test_lvalue_check(self):
+        with pytest.raises(ParseError):
+            parse("int f() { 3 = 4; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int f() { return 1 }")
+
+
+class TestCodegenExecution:
+    def test_arithmetic(self):
+        assert run_minic(
+            """
+            int main() { print_int(2 + 3 * 4 - 6 / 2); return 0; }
+            """
+        ) == "11"
+
+    def test_division_truncates_toward_zero(self):
+        assert run_minic(
+            "int main() { print_int(-7 / 2); print_char(' '); "
+            "print_int(-7 % 2); return 0; }"
+        ) == "-3 -1"
+
+    def test_shifts_and_masks(self):
+        assert run_minic(
+            "int main() { print_int((1 << 10) | 3); print_char(' '); "
+            "print_int(-16 >> 2); return 0; }"
+        ) == "1027 -4"
+
+    def test_comparisons_as_values(self):
+        assert run_minic(
+            """
+            int main() {
+                print_int(3 < 5); print_int(5 < 3); print_int(4 <= 4);
+                print_int(4 > 4); print_int(4 >= 5); print_int(2 == 2);
+                print_int(2 != 2);
+                return 0;
+            }
+            """
+        ) == "1010010"
+
+    def test_short_circuit_and(self):
+        # Division by zero on the right must not be evaluated.
+        assert run_minic(
+            """
+            int zero() { return 0; }
+            int main() {
+                int d = zero();
+                if (d != 0 && 10 / d > 1) { print_int(1); }
+                else { print_int(2); }
+                return 0;
+            }
+            """
+        ) == "2"
+
+    def test_short_circuit_or_value(self):
+        assert run_minic(
+            "int main() { print_int(1 || 0); print_int(0 || 0); "
+            "print_int(1 && 1); print_int(1 && 0); return 0; }"
+        ) == "1010"
+
+    def test_unary_ops(self):
+        assert run_minic(
+            "int main() { print_int(-(5)); print_char(' '); print_int(~0); "
+            "print_char(' '); print_int(!3); print_int(!0); return 0; }"
+        ) == "-5 -1 01"
+
+    def test_while_loop(self):
+        assert run_minic(
+            """
+            int main() {
+                int i = 0;
+                int sum = 0;
+                while (i < 10) { sum += i; i += 1; }
+                print_int(sum);
+                return 0;
+            }
+            """
+        ) == "45"
+
+    def test_for_loop_with_break_continue(self):
+        assert run_minic(
+            """
+            int main() {
+                int sum = 0;
+                for (int i = 0; i < 100; i += 1) {
+                    if (i == 10) { break; }
+                    if (i % 2 == 1) { continue; }
+                    sum += i;
+                }
+                print_int(sum);
+                return 0;
+            }
+            """
+        ) == "20"
+
+    def test_nested_loops(self):
+        assert run_minic(
+            """
+            int main() {
+                int total = 0;
+                for (int i = 1; i <= 3; i += 1) {
+                    for (int j = 1; j <= 3; j += 1) {
+                        total += i * j;
+                    }
+                }
+                print_int(total);
+                return 0;
+            }
+            """
+        ) == "36"
+
+    def test_if_else_chain(self):
+        assert run_minic(
+            """
+            int grade(int x) {
+                if (x >= 90) { return 4; }
+                else if (x >= 80) { return 3; }
+                else if (x >= 70) { return 2; }
+                else { return 0; }
+            }
+            int main() {
+                print_int(grade(95)); print_int(grade(85));
+                print_int(grade(75)); print_int(grade(10));
+                return 0;
+            }
+            """
+        ) == "4320"
+
+    def test_global_variables(self):
+        assert run_minic(
+            """
+            int counter = 5;
+            int limit;
+            int main() {
+                limit = 3;
+                counter += limit;
+                print_int(counter);
+                return 0;
+            }
+            """
+        ) == "8"
+
+    def test_global_array(self):
+        assert run_minic(
+            """
+            int table[5] = {10, 20, 30};
+            int main() {
+                table[3] = table[0] + table[1];
+                print_int(table[3]);
+                print_int(table[4]);
+                return 0;
+            }
+            """
+        ) == "300"
+
+    def test_local_array(self):
+        assert run_minic(
+            """
+            int main() {
+                int buffer[8];
+                for (int i = 0; i < 8; i += 1) { buffer[i] = i * i; }
+                int sum = 0;
+                for (int i = 0; i < 8; i += 1) { sum += buffer[i]; }
+                print_int(sum);
+                return 0;
+            }
+            """
+        ) == "140"
+
+    def test_array_parameter(self):
+        assert run_minic(
+            """
+            int sum(int *values, int count) {
+                int total = 0;
+                for (int i = 0; i < count; i += 1) { total += values[i]; }
+                return total;
+            }
+            int data[4] = {1, 2, 3, 4};
+            int main() { print_int(sum(data, 4)); return 0; }
+            """
+        ) == "10"
+
+    def test_local_array_parameter(self):
+        assert run_minic(
+            """
+            void fill(int buf[], int n) {
+                for (int i = 0; i < n; i += 1) { buf[i] = 2 * i; }
+            }
+            int main() {
+                int local[4];
+                fill(local, 4);
+                print_int(local[3]);
+                return 0;
+            }
+            """
+        ) == "6"
+
+    def test_recursion(self):
+        assert run_minic(
+            """
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+            int main() { print_int(fib(12)); return 0; }
+            """
+        ) == "144"
+
+    def test_many_arguments_stack_passing(self):
+        assert run_minic(
+            """
+            int total(int a, int b, int c, int d, int e, int f, int g) {
+                return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g;
+            }
+            int main() { print_int(total(1, 1, 1, 1, 1, 1, 1)); return 0; }
+            """
+        ) == "28"
+
+    def test_call_inside_expression_spills(self):
+        assert run_minic(
+            """
+            int three() { return 3; }
+            int main() {
+                int x = 100;
+                print_int(x + three() * 2 + three());
+                return 0;
+            }
+            """
+        ) == "109"
+
+    def test_many_locals_overflow_to_stack(self):
+        # More scalars than the eight s-registers.
+        assert run_minic(
+            """
+            int main() {
+                int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+                int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+                int k = 11; int l = 12;
+                print_int(a + b + c + d + e + f + g + h + i + j + k + l);
+                return 0;
+            }
+            """
+        ) == "78"
+
+    def test_compound_assignment_on_array(self):
+        assert run_minic(
+            """
+            int a[3] = {5, 6, 7};
+            int main() {
+                a[1] += 10;
+                a[1] <<= 1;
+                print_int(a[1]);
+                return 0;
+            }
+            """
+        ) == "32"
+
+    def test_power_of_two_multiply_becomes_shift(self):
+        asm = compile_to_asm("int main() { int x = 5; return x * 8; }")
+        assert "mult" not in asm
+        assert "sll" in asm
+
+    def test_general_multiply(self):
+        assert run_minic(
+            "int main() { int x = -12; int y = 34; print_int(x * y); return 0; }"
+        ) == "-408"
+
+    def test_variable_shift(self):
+        assert run_minic(
+            "int main() { int n = 3; print_int(1 << n); print_char(' '); "
+            "int m = -64; print_int(m >> n); return 0; }"
+        ) == "8 -8"
+
+    def test_char_output(self):
+        assert run_minic(
+            """
+            int main() {
+                print_char('o'); print_char('k');
+                return 0;
+            }
+            """
+        ) == "ok"
+
+    def test_assignment_chains(self):
+        assert run_minic(
+            """
+            int main() {
+                int a; int b; int c;
+                a = b = c = 7;
+                print_int(a + b + c);
+                return 0;
+            }
+            """
+        ) == "21"
+
+    def test_scoping_shadowing(self):
+        assert run_minic(
+            """
+            int main() {
+                int x = 1;
+                { int x = 2; print_int(x); }
+                print_int(x);
+                return 0;
+            }
+            """
+        ) == "21"
+
+
+class TestCompileErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("int main() { return nope; }")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("int main() { int x; int x; return 0; }")
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("int f() { return 1; }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("int main() { return g(); }")
+
+    def test_indexing_scalar(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("int main() { int x; return x[0]; }")
+
+    def test_assign_to_array_name(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("int a[3]; int main() { a = 4; return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("int main() { break; return 0; }")
+
+    def test_builtin_redefinition(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("int print_int(int x) { return x; } int main() { return 0; }")
+
+    def test_negative_array_size(self):
+        with pytest.raises(CompileError):
+            compile_to_asm("int main() { int a[0]; return 0; }")

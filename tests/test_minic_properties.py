@@ -1,0 +1,132 @@
+"""Property-based tests: MiniC computes exactly what Python computes.
+
+Random expression trees and random small programs are generated with
+hypothesis, compiled, run on the simulator, and compared against direct
+Python evaluation with C semantics (32-bit wrap, truncating division,
+arithmetic right shift).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minic import compile_program
+from repro.sim import Interpreter, load_program
+from repro.workloads.base import cdiv, cmod, to_s32
+
+
+def run_minic(source, max_instructions=500_000):
+    program = compile_program(source)
+    memory, machine = load_program(program)
+    interpreter = Interpreter(memory, machine, trace=False)
+    interpreter.run(max_instructions)
+    return interpreter.output_text
+
+
+# ------------------------------------------------------------ expressions
+
+_BINOPS = ("+", "-", "*", "&", "|", "^")
+
+
+@st.composite
+def expr_trees(draw, depth=3):
+    """An expression tree as (text, python_value) with C semantics."""
+    if depth == 0 or draw(st.booleans()):
+        value = draw(st.integers(min_value=-1000, max_value=1000))
+        if value < 0:
+            return "(%d)" % value, value
+        return str(value), value
+    op = draw(st.sampled_from(_BINOPS))
+    left_text, left_value = draw(expr_trees(depth=depth - 1))
+    right_text, right_value = draw(expr_trees(depth=depth - 1))
+    text = "(%s %s %s)" % (left_text, op, right_text)
+    if op == "+":
+        value = to_s32(left_value + right_value)
+    elif op == "-":
+        value = to_s32(left_value - right_value)
+    elif op == "*":
+        value = to_s32(left_value * right_value)
+    elif op == "&":
+        value = left_value & right_value
+    elif op == "|":
+        value = left_value | right_value
+    else:
+        value = left_value ^ right_value
+    return text, value
+
+
+class TestExpressionEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(expr_trees(depth=3))
+    def test_arithmetic_tree(self, tree):
+        text, expected = tree
+        output = run_minic("int main() { print_int(%s); return 0; }" % text)
+        assert output == str(expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=-30000, max_value=30000),
+        st.integers(min_value=1, max_value=5000),
+    )
+    def test_division_and_modulo(self, a, b):
+        output = run_minic(
+            "int main() { print_int(%d / %d); print_char(' '); "
+            "print_int(%d %% %d); return 0; }" % (a, b, a, b)
+        )
+        assert output == "%d %d" % (cdiv(a, b), cmod(a, b))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        st.integers(min_value=0, max_value=31),
+    )
+    def test_shifts(self, value, shamt):
+        output = run_minic(
+            "int main() { int v = %d; print_int(v >> %d); print_char(' '); "
+            "print_int(v << %d); return 0; }" % (value, shamt, shamt)
+        )
+        expected_right = value >> shamt
+        expected_left = to_s32(value << shamt)
+        assert output == "%d %d" % (expected_right, expected_left)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=12))
+    def test_array_sum(self, values):
+        source = """
+        int data[%d] = {%s};
+        int main() {
+            int total = 0;
+            for (int i = 0; i < %d; i += 1) { total += data[i]; }
+            print_int(total);
+            return 0;
+        }
+        """ % (len(values), ", ".join(map(str, values)), len(values))
+        assert run_minic(source) == str(sum(values))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=-200, max_value=200),
+        st.integers(min_value=-200, max_value=200),
+    )
+    def test_comparison_chain(self, a, b):
+        source = (
+            "int main() { print_int(%d < %d); print_int(%d <= %d); "
+            "print_int(%d == %d); print_int(%d >= %d); print_int(%d > %d); "
+            "return 0; }" % (a, b, a, b, a, b, a, b, a, b)
+        )
+        expected = "%d%d%d%d%d" % (a < b, a <= b, a == b, a >= b, a > b)
+        assert run_minic(source) == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=12))
+    def test_recursion_depth(self, n):
+        source = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        int main() { print_int(fact(%d)); return 0; }
+        """ % n
+        import math
+
+        expected = to_s32(math.factorial(max(1, n)))
+        assert run_minic(source) == str(expected)

@@ -1,0 +1,454 @@
+"""Tests for the functional simulator: memory, machine, interpreter."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm import assemble
+from repro.sim import Interpreter, Memory, SimulationError, load_program
+from repro.sim.machine import Machine
+from repro.sim.memory import MemoryError_
+from repro.sim.trace import run_trace
+
+
+def run_asm(source, max_instructions=200_000, trace=False):
+    """Assemble and run; returns the interpreter."""
+    program = assemble(source)
+    memory, machine = load_program(program)
+    interpreter = Interpreter(memory, machine, trace=trace)
+    interpreter.run(max_instructions)
+    return interpreter
+
+
+class TestMemory:
+    def test_default_zero(self):
+        memory = Memory()
+        assert memory.read_word(0x10000000) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=0x7FFFFFF0).map(lambda a: a & ~3),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_word_roundtrip(self, address, value):
+        memory = Memory()
+        memory.write_word(address, value)
+        assert memory.read_word(address) == value
+
+    def test_little_endian_layout(self):
+        memory = Memory()
+        memory.write_word(0x1000, 0xAABBCCDD)
+        assert memory.read_byte(0x1000) == 0xDD
+        assert memory.read_byte(0x1003) == 0xAA
+        assert memory.read_half(0x1000) == 0xCCDD
+
+    def test_cross_page_write(self):
+        memory = Memory()
+        memory.write_bytes(0xFFE, b"\x01\x02\x03\x04")
+        assert memory.read_byte(0xFFF) == 0x02
+        assert memory.read_byte(0x1000) == 0x03
+
+    def test_unaligned_word_raises(self):
+        memory = Memory()
+        with pytest.raises(MemoryError_):
+            memory.read_word(0x1001)
+        with pytest.raises(MemoryError_):
+            memory.write_word(0x1002, 0)
+
+    def test_unaligned_half_raises(self):
+        memory = Memory()
+        with pytest.raises(MemoryError_):
+            memory.read_half(0x1001)
+
+    def test_cstring(self):
+        memory = Memory()
+        memory.write_bytes(0x2000, b"hello\x00world")
+        assert memory.read_cstring(0x2000) == "hello"
+
+    def test_sparse_allocation(self):
+        memory = Memory()
+        memory.write_byte(0x00400000, 1)
+        memory.write_byte(0x7FFF0000, 1)
+        assert memory.allocated_pages == 2
+
+
+class TestMachine:
+    def test_register_zero_hardwired(self):
+        machine = Machine()
+        machine.write(0, 123)
+        assert machine.read(0) == 0
+
+    def test_write_masks_to_32_bits(self):
+        machine = Machine()
+        machine.write(5, 0x1FFFFFFFF)
+        assert machine.read(5) == 0xFFFFFFFF
+
+    def test_read_signed(self):
+        machine = Machine()
+        machine.write(5, 0xFFFFFFFF)
+        assert machine.read_signed(5) == -1
+
+
+class TestInterpreterArithmetic:
+    def test_addition_program(self):
+        interpreter = run_asm(
+            """
+            main:
+                li   $a0, 30
+                li   $a1, 12
+                addu $v0, $a0, $a1
+                jr   $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 42
+
+    def test_loop_sum(self):
+        # Sum 1..10 = 55.
+        interpreter = run_asm(
+            """
+            main:
+                li   $t0, 10
+                li   $v0, 0
+            loop:
+                addu $v0, $v0, $t0
+                addiu $t0, $t0, -1
+                bgtz $t0, loop
+                jr   $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 55
+
+    def test_mult_and_mflo(self):
+        interpreter = run_asm(
+            """
+            main:
+                li   $t0, -6
+                li   $t1, 7
+                mult $t0, $t1
+                mflo $v0
+                jr   $ra
+            """
+        )
+        assert interpreter.machine.read_signed(2) == -42
+
+    def test_mult_hi(self):
+        interpreter = run_asm(
+            """
+            main:
+                li   $t0, 0x10000
+                li   $t1, 0x10000
+                mult $t0, $t1
+                mfhi $v0
+                mflo $v1
+                jr   $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 1
+        assert interpreter.machine.read(3) == 0
+
+    def test_div_truncates_toward_zero(self):
+        interpreter = run_asm(
+            """
+            main:
+                li  $t0, -7
+                li  $t1, 2
+                div $t0, $t1
+                mflo $v0
+                mfhi $v1
+                jr  $ra
+            """
+        )
+        assert interpreter.machine.read_signed(2) == -3
+        assert interpreter.machine.read_signed(3) == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            run_asm("main: li $t1, 0\n div $t1, $t1\n jr $ra\n")
+
+    def test_shifts(self):
+        interpreter = run_asm(
+            """
+            main:
+                li  $t0, -16
+                sra $v0, $t0, 2
+                srl $v1, $t0, 28
+                sll $a0, $t0, 1
+                jr  $ra
+            """
+        )
+        assert interpreter.machine.read_signed(2) == -4
+        assert interpreter.machine.read(3) == 0xF
+        assert interpreter.machine.read_signed(4) == -32
+
+    def test_slt_family(self):
+        interpreter = run_asm(
+            """
+            main:
+                li    $t0, -1
+                li    $t1, 1
+                slt   $v0, $t0, $t1
+                sltu  $v1, $t0, $t1
+                slti  $a0, $t0, 0
+                sltiu $a1, $t1, 2
+                jr    $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 1   # -1 < 1 signed
+        assert interpreter.machine.read(3) == 0   # 0xFFFFFFFF > 1 unsigned
+        assert interpreter.machine.read(4) == 1
+        assert interpreter.machine.read(5) == 1
+
+    def test_logical_ops(self):
+        interpreter = run_asm(
+            """
+            main:
+                li  $t0, 0xF0F0
+                li  $t1, 0x0FF0
+                and $v0, $t0, $t1
+                or  $v1, $t0, $t1
+                xor $a0, $t0, $t1
+                nor $a1, $t0, $t1
+                jr  $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 0x00F0
+        assert interpreter.machine.read(3) == 0xFFF0
+        assert interpreter.machine.read(4) == 0xFF00
+        assert interpreter.machine.read(5) == 0xFFFF000F
+
+
+class TestInterpreterMemoryOps:
+    def test_store_load_word(self):
+        interpreter = run_asm(
+            """
+            .data
+            slot: .word 0
+            .text
+            main:
+                la  $t0, slot
+                li  $t1, 0x1234
+                sw  $t1, 0($t0)
+                lw  $v0, 0($t0)
+                jr  $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 0x1234
+
+    def test_byte_sign_extension(self):
+        interpreter = run_asm(
+            """
+            .data
+            b: .byte 0xFF
+            .text
+            main:
+                la  $t0, b
+                lb  $v0, 0($t0)
+                lbu $v1, 0($t0)
+                jr  $ra
+            """
+        )
+        assert interpreter.machine.read_signed(2) == -1
+        assert interpreter.machine.read(3) == 0xFF
+
+    def test_half_sign_extension(self):
+        interpreter = run_asm(
+            """
+            .data
+            h: .half 0x8000
+            .text
+            main:
+                la  $t0, h
+                lh  $v0, 0($t0)
+                lhu $v1, 0($t0)
+                jr  $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 0xFFFF8000
+        assert interpreter.machine.read(3) == 0x8000
+
+    def test_stack_discipline(self):
+        interpreter = run_asm(
+            """
+            main:
+                addiu $sp, $sp, -8
+                li    $t0, 77
+                sw    $t0, 4($sp)
+                lw    $v0, 4($sp)
+                addiu $sp, $sp, 8
+                jr    $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 77
+
+    def test_array_walk(self):
+        interpreter = run_asm(
+            """
+            .data
+            arr: .word 3, 5, 7, 11
+            .text
+            main:
+                la   $t0, arr
+                li   $t1, 4
+                li   $v0, 0
+            loop:
+                lw   $t2, 0($t0)
+                addu $v0, $v0, $t2
+                addiu $t0, $t0, 4
+                addiu $t1, $t1, -1
+                bgtz $t1, loop
+                jr   $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 26
+
+
+class TestInterpreterControl:
+    def test_function_call(self):
+        interpreter = run_asm(
+            """
+            main:
+                move $s0, $ra
+                li  $a0, 5
+                jal double
+                move $v0, $v1
+                jr  $s0
+            double:
+                addu $v1, $a0, $a0
+                jr  $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 10
+
+    def test_jalr(self):
+        interpreter = run_asm(
+            """
+            main:
+                la   $t0, target
+                jalr $t1, $t0
+                jr   $ra
+            target:
+                li   $v0, 9
+                jr   $t1
+            """
+        )
+        assert interpreter.machine.read(2) == 9
+
+    def test_branch_variants(self):
+        interpreter = run_asm(
+            """
+            main:
+                li   $t0, -3
+                li   $v0, 0
+                bltz $t0, a
+                li   $v0, 99
+            a:  bgez $zero, b
+                li   $v0, 98
+            b:  blez $zero, c
+                li   $v0, 97
+            c:  addiu $v0, $v0, 1
+                jr   $ra
+            """
+        )
+        assert interpreter.machine.read(2) == 1
+
+    def test_runaway_detection(self):
+        with pytest.raises(SimulationError):
+            run_asm("main: b main\n", max_instructions=1000)
+
+
+class TestSyscalls:
+    def test_print_int(self):
+        interpreter = run_asm(
+            """
+            main:
+                li $a0, -42
+                li $v0, 1
+                syscall
+                li $v0, 10
+                syscall
+            """
+        )
+        assert interpreter.output_text == "-42"
+
+    def test_print_string_and_char(self):
+        interpreter = run_asm(
+            """
+            .data
+            msg: .asciiz "ok"
+            .text
+            main:
+                la $a0, msg
+                li $v0, 4
+                syscall
+                li $a0, '!'
+                li $v0, 11
+                syscall
+                li $v0, 10
+                syscall
+            """
+        )
+        assert interpreter.output_text == "ok!"
+
+    def test_unknown_syscall_raises(self):
+        with pytest.raises(SimulationError):
+            run_asm("main: li $v0, 99\n syscall\n jr $ra\n")
+
+
+class TestTracing:
+    def test_trace_records_alu(self):
+        program = assemble(
+            """
+            main:
+                li   $t0, 300
+                li   $t1, 40
+                addu $v0, $t0, $t1
+                jr   $ra
+            """
+        )
+        records, interpreter = run_trace(program)
+        assert interpreter.machine.read(2) == 340
+        addu = records[2]
+        assert addu.alu_kind == "add"
+        assert (addu.alu_a, addu.alu_b) == (300, 40)
+        assert addu.write_value == 340
+
+    def test_trace_records_memory(self):
+        program = assemble(
+            """
+            .data
+            slot: .word 0
+            .text
+            main:
+                la $t0, slot
+                li $t1, 7
+                sw $t1, 0($t0)
+                lw $v0, 0($t0)
+                jr $ra
+            """
+        )
+        records, _ = run_trace(program)
+        store = next(r for r in records if r.mem_is_store)
+        assert store.mem_addr == 0x10000000
+        assert store.mem_value == 7
+        load = next(r for r in records if r.is_memory and not r.mem_is_store)
+        assert load.write_value == 7
+
+    def test_trace_records_branch(self):
+        program = assemble(
+            """
+            main:
+                li $t0, 1
+                bne $t0, $zero, skip
+                li $v0, 1
+            skip:
+                jr $ra
+            """
+        )
+        records, _ = run_trace(program)
+        branch = next(r for r in records if r.instr.is_branch)
+        assert branch.taken
+        assert branch.next_pc == branch.instr.branch_target(branch.pc)
+
+    def test_trace_length_matches_count(self):
+        program = assemble("main: li $t0, 1\n li $t1, 2\n jr $ra\n")
+        records, interpreter = run_trace(program)
+        assert len(records) == interpreter.instructions_executed

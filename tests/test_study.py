@@ -1,0 +1,143 @@
+"""Tests for the experiment harness (study package)."""
+
+import pytest
+
+from repro.core.extension import BYTE_SCHEME, HALFWORD_SCHEME
+from repro.study import EXPERIMENTS, run_experiment
+from repro.study import activity_study, cpi_study, funct_study, patterns_study, pc_study
+from repro.study.report import format_comparison, format_table, percent
+from repro.workloads import get_workload
+
+#: Small fixed workload set so study tests stay quick; traces are cached.
+FAST = [get_workload("rawcaudio"), get_workload("pegwit")]
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (30, 4.0)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text
+
+    def test_format_table_title(self):
+        text = format_table(("x",), [(1,)], title="Hello")
+        assert text.splitlines()[0] == "Hello"
+
+    def test_format_comparison_with_and_without_paper(self):
+        text = format_comparison("t", [("a", 1.0, 2.0), ("b", 3.0, None)])
+        assert "-1.000" in text  # delta for 'a'
+        assert "-" in text       # missing paper value for 'b'
+
+    def test_percent(self):
+        assert percent(0.421) == "42.1%"
+
+
+class TestPatternsStudy:
+    def test_run_produces_paper_columns(self):
+        counter, text = patterns_study.run(FAST, scale=1)
+        assert "eees" in text
+        assert counter.total > 0
+        assert "61.3" in text  # paper column present
+
+    def test_counter_collects_reads_and_writes(self):
+        counter = patterns_study.collect_pattern_counter(FAST, scale=1)
+        reads_only = patterns_study.collect_pattern_counter(
+            FAST, scale=1, include_writes=False
+        )
+        assert counter.total > reads_only.total
+
+
+class TestPcStudy:
+    def test_analytic_matches_paper_exactly(self):
+        rows, text = pc_study.run(FAST, scale=1, block_sizes=(1, 2, 4, 8))
+        # Row for block size 8: analytic activity equals the paper value.
+        row8 = [row for row in rows if row[0] == 8][0]
+        assert row8[1] == "8.0314"
+        assert row8[2] == "8.0314"
+
+    def test_measured_stream_savings_band(self):
+        model = pc_study.measure_pc_stream(8, FAST, scale=1)
+        # Paper Table 5: 73.3% PC activity saving at byte granularity.
+        assert 0.6 < model.activity_savings() < 0.85
+
+    def test_redirects_recorded(self):
+        model = pc_study.measure_pc_stream(8, FAST, scale=1)
+        assert model.redirects > 0
+        assert model.updates > model.redirects
+
+
+class TestFunctStudy:
+    def test_fetch_statistics_bands(self):
+        stats, text = funct_study.run(FAST, scale=1)
+        assert 3.0 < stats.average_bytes_per_instruction() < 3.6
+        assert "Table 3" in text
+        assert "Section 2.3" in text
+
+    def test_profile_recode_table_size(self):
+        table = funct_study.profile_recode_table(FAST, scale=1, slots=8)
+        assert len(table) == 8
+        names = {funct.name for funct in table}
+        assert "ADDU" in names  # always the most frequent funct
+
+
+class TestActivityStudy:
+    def test_byte_table_has_paper_row(self):
+        reports, average, text = activity_study.run(BYTE_SCHEME, FAST, scale=1)
+        assert len(reports) == len(FAST)
+        assert "paper AVG" in text
+        assert average.instructions > 0
+
+    def test_halfword_saves_less_than_byte(self):
+        _r1, byte_avg, _t1 = activity_study.run(BYTE_SCHEME, FAST, scale=1)
+        _r2, half_avg, _t2 = activity_study.run(HALFWORD_SCHEME, FAST, scale=1)
+        assert byte_avg.savings("rf_read") > half_avg.savings("rf_read")
+        assert byte_avg.savings("pc") > half_avg.savings("pc")
+
+
+class TestCpiStudy:
+    def test_fig4_structure(self):
+        names, table, text = cpi_study.run_figure("fig4", FAST, scale=1)
+        assert names == [w.name for w in FAST]
+        assert set(table) == {"baseline32", "byte_serial", "halfword_serial"}
+        assert "paper" in text
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            cpi_study.run_figure("fig99", FAST)
+
+    def test_bottleneck_report(self):
+        totals, text = cpi_study.run_bottleneck(FAST, scale=1)
+        assert max(totals, key=totals.get) == "ex"
+        assert "EX" in text
+
+    def test_every_org_slower_than_baseline(self):
+        names, table, _ = cpi_study.run_figure("fig10", FAST, scale=1)
+        for organization, values in table.items():
+            if organization == "baseline32":
+                continue
+            for baseline_cpi, cpi in zip(table["baseline32"], values):
+                assert cpi >= baseline_cpi * 0.999
+
+
+class TestExperimentRegistry:
+    def test_all_ids_present(self):
+        for required in ("table1", "table2", "table3", "table5", "table6",
+                         "fig4", "fig6", "fig8", "fig10", "bottleneck"):
+            assert required in EXPERIMENTS
+
+    def test_run_experiment_unknown_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("table9")
+
+    def test_run_experiment_table2(self):
+        text = run_experiment("table2", workloads=FAST)
+        assert "Table 2" in text
+
+    def test_run_ablation_schemes(self):
+        text = run_experiment("ablation-schemes", workloads=FAST)
+        assert "byte3" in text
+        assert "byte2" in text
+
+    def test_run_ablation_granularity(self):
+        text = run_experiment("ablation-granularity", workloads=FAST)
+        assert "halfword" in text

@@ -1,0 +1,77 @@
+"""Tests for workload plumbing (base.Workload, format helpers)."""
+
+import pytest
+
+from repro.workloads.base import Workload, format_int_array
+
+
+def make_counter_workload():
+    calls = {"source": 0}
+
+    def source(scale):
+        calls["source"] += 1
+        return (
+            "int main() { print_int(%d); return 0; }" % (scale * 10)
+        )
+
+    def reference(scale):
+        return str(scale * 10)
+
+    workload = Workload("counter", source, reference, "test workload")
+    return workload, calls
+
+
+class TestFormatIntArray:
+    def test_simple(self):
+        assert format_int_array("a", [1, 2, 3]) == "int a[3] = {1, 2, 3};"
+
+    def test_negative_values(self):
+        assert "-5" in format_int_array("a", [-5])
+
+
+class TestWorkloadLifecycle:
+    def test_verify_success(self):
+        workload, _ = make_counter_workload()
+        assert workload.verify(scale=1)
+        assert workload.verify(scale=3)
+
+    def test_verify_failure_raises_with_detail(self):
+        workload = Workload(
+            "broken",
+            lambda scale: "int main() { print_int(1); return 0; }",
+            lambda scale: "2",
+            "always wrong",
+        )
+        with pytest.raises(AssertionError) as excinfo:
+            workload.verify()
+        assert "broken" in str(excinfo.value)
+
+    def test_program_cached_per_scale(self):
+        workload, calls = make_counter_workload()
+        workload.program(scale=1)
+        workload.program(scale=1)
+        workload.program(scale=2)
+        assert calls["source"] == 2
+
+    def test_run_cached(self):
+        workload, _ = make_counter_workload()
+        first = workload.run(scale=1)
+        second = workload.run(scale=1)
+        assert first is second
+
+    def test_trace_and_output(self):
+        workload, _ = make_counter_workload()
+        records = workload.trace(scale=1)
+        assert len(records) > 0
+        assert workload.output(scale=1) == "10"
+
+    def test_clear_cache(self):
+        workload, calls = make_counter_workload()
+        workload.program(scale=1)
+        workload.clear_cache()
+        workload.program(scale=1)
+        assert calls["source"] == 2
+
+    def test_repr(self):
+        workload, _ = make_counter_workload()
+        assert "counter" in repr(workload)

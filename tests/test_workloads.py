@@ -1,0 +1,135 @@
+"""Workload-suite validation: every kernel must match its Python reference."""
+
+import pytest
+
+from repro.core.extension import BYTE_SCHEME
+from repro.workloads import MEDIABENCH_NAMES, all_workloads, get_workload, mediabench_suite
+from repro.workloads.base import cdiv, cmod, mul32, to_s32
+from repro.workloads.inputs import (
+    audio_samples,
+    image_block,
+    motion_vectors,
+    small_values,
+    uniform_words,
+)
+
+ALL_NAMES = sorted(all_workloads())
+
+
+class TestReferenceHelpers:
+    def test_to_s32(self):
+        assert to_s32(0xFFFFFFFF) == -1
+        assert to_s32(0x7FFFFFFF) == 0x7FFFFFFF
+        assert to_s32(0x100000000) == 0
+
+    def test_cdiv_truncates_toward_zero(self):
+        assert cdiv(7, 2) == 3
+        assert cdiv(-7, 2) == -3
+        assert cdiv(7, -2) == -3
+        assert cdiv(-7, -2) == 3
+
+    def test_cmod_sign_follows_dividend(self):
+        assert cmod(-7, 2) == -1
+        assert cmod(7, -2) == 1
+
+    def test_mul32_wraps(self):
+        assert mul32(0x10000, 0x10000) == 0
+        assert mul32(3, 4) == 12
+
+
+class TestInputs:
+    def test_audio_is_16bit_and_deterministic(self):
+        samples = audio_samples(500)
+        assert samples == audio_samples(500)
+        assert all(-32768 <= sample <= 32767 for sample in samples)
+        # Smooth: neighbouring samples are close most of the time.
+        jumps = sum(
+            1 for a, b in zip(samples, samples[1:]) if abs(a - b) > 8192
+        )
+        assert jumps < len(samples) // 20
+
+    def test_image_is_8bit(self):
+        pixels = image_block(16, 16)
+        assert len(pixels) == 256
+        assert all(0 <= pixel <= 255 for pixel in pixels)
+
+    def test_uniform_words_are_wide(self):
+        words = uniform_words(200)
+        wide = sum(1 for word in words if BYTE_SCHEME.significant_bytes(word) == 4)
+        assert wide > 150  # overwhelmingly full-width
+
+    def test_small_values_are_narrow(self):
+        values = small_values(200, magnitude=100)
+        assert all(-100 <= value <= 100 for value in values)
+
+    def test_motion_vectors_bounded(self):
+        vectors = motion_vectors(50, max_displacement=3)
+        assert all(-3 <= dx <= 3 and -3 <= dy <= 3 for dx, dy in vectors)
+
+
+class TestRegistry:
+    def test_mediabench_names_resolve(self):
+        for name in MEDIABENCH_NAMES:
+            assert get_workload(name).name == name
+
+    def test_suite_order(self):
+        suite = mediabench_suite()
+        assert [workload.name for workload in suite] == list(MEDIABENCH_NAMES)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("quake3")
+
+    def test_twelve_mediabench_kernels(self):
+        assert len(MEDIABENCH_NAMES) == 12
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestWorkloadCorrectness:
+    def test_matches_reference(self, name):
+        """The simulated kernel prints exactly what the Python model predicts."""
+        assert get_workload(name).verify(scale=1)
+
+    def test_trace_is_nonempty_and_consistent(self, name):
+        workload = get_workload(name)
+        records, interpreter = workload.run(scale=1)
+        assert len(records) == interpreter.instructions_executed
+        assert len(records) > 1000  # substantial dynamic footprint
+
+
+class TestWorkloadCharacter:
+    """The suite must exhibit the value/instruction mix the paper relies on."""
+
+    def test_media_kernels_have_narrow_results(self):
+        # Most ALU/load results in the ADPCM coder fit in 1-2 bytes.
+        records = get_workload("rawcaudio").trace(scale=1)
+        written = [r.write_value for r in records if r.write_value is not None]
+        narrow = sum(1 for v in written if BYTE_SCHEME.significant_bytes(v) <= 2)
+        assert narrow / len(written) > 0.7
+
+    def test_crypto_kernel_has_wide_results(self):
+        records = get_workload("pegwit").trace(scale=1)
+        written = [r.write_value for r in records if r.write_value is not None]
+        wide = sum(1 for v in written if BYTE_SCHEME.significant_bytes(v) >= 3)
+        assert wide / len(written) > 0.4
+
+    def test_memory_share_is_realistic(self):
+        # Paper Section 5: around one third of instructions access memory.
+        total = 0
+        memory = 0
+        for name in ("rawcaudio", "cjpeg", "gsm_toast"):
+            records = get_workload(name).trace(scale=1)
+            total += len(records)
+            memory += sum(1 for r in records if r.is_memory)
+        assert 0.15 < memory / total < 0.5
+
+    def test_branch_share_is_realistic(self):
+        records = get_workload("rawcaudio").trace(scale=1)
+        branches = sum(1 for r in records if r.instr.is_control)
+        assert 0.05 < branches / len(records) < 0.35
+
+    def test_adder_share_matches_paper_ballpark(self):
+        # Paper Section 2.5: ~70% of instructions need the adder.
+        records = get_workload("rawcaudio").trace(scale=1)
+        adds = sum(1 for r in records if r.instr.needs_adder)
+        assert adds / len(records) > 0.5

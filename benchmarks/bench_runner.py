@@ -1,0 +1,64 @@
+"""Benchmark: the experiment session engine.
+
+Not a paper artifact — tracks the cost structure the engine exists to
+improve: cold-cache runs (trace materialization dominates) vs warm-cache
+runs (analysis only), and serial vs parallel scheduling of independent
+experiments over a shared, pre-materialized TraceStore.
+"""
+
+from repro.study.session import ExperimentSession
+from repro.workloads import get_workload
+
+#: Trace-analysis experiments only, so the engine overhead is visible.
+RUNNER_IDS = ("table1", "table2", "table3")
+
+#: Cheap synthetic workloads: cold-cache rounds stay affordable.
+RUNNER_WORKLOADS = ("synth_small", "synth_stride")
+
+
+def _workloads():
+    return [get_workload(name) for name in RUNNER_WORKLOADS]
+
+
+def test_runner_cold_cache(benchmark):
+    def run_cold():
+        workloads = _workloads()
+        for workload in workloads:
+            workload.clear_cache()
+        session = ExperimentSession(workloads=workloads)
+        return session.run(RUNNER_IDS)
+
+    results = benchmark.pedantic(run_cold, rounds=1, iterations=1)
+    assert [result.id for result in results] == list(RUNNER_IDS)
+
+
+def test_runner_warm_cache(benchmark):
+    session = ExperimentSession(workloads=_workloads())
+    session.prepare(RUNNER_IDS)
+
+    results = benchmark.pedantic(
+        lambda: session.run(RUNNER_IDS), rounds=3, iterations=1
+    )
+    assert all(count == 1 for count in session.store.materializations.values())
+    assert len(results) == len(RUNNER_IDS)
+
+
+def test_runner_serial(benchmark):
+    session = ExperimentSession(workloads=_workloads())
+    session.prepare(RUNNER_IDS)
+
+    results = benchmark.pedantic(
+        lambda: session.run(RUNNER_IDS, jobs=1), rounds=1, iterations=1
+    )
+    assert len(results) == len(RUNNER_IDS)
+
+
+def test_runner_parallel(benchmark):
+    session = ExperimentSession(workloads=_workloads())
+    session.prepare(RUNNER_IDS)
+    serial_text = session.report_text(session.run(RUNNER_IDS, jobs=1))
+
+    results = benchmark.pedantic(
+        lambda: session.run(RUNNER_IDS, jobs=4), rounds=1, iterations=1
+    )
+    assert session.report_text(results) == serial_text

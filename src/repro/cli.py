@@ -7,13 +7,29 @@ Examples::
     repro fig4 --scale 2            # larger inputs
     repro table1 --workloads rawcaudio,cjpeg
     repro all                       # every table and figure in sequence
+    repro all --jobs 4              # same output, experiments in parallel
+    repro all --format json         # machine-readable report
 """
 
 import argparse
 import sys
 
-from repro.study.experiments import EXPERIMENTS, run_experiment
-from repro.workloads import get_workload, mediabench_suite
+from repro.study.experiments import EXPERIMENTS
+from repro.study.session import ExperimentSession
+from repro.workloads import all_workloads
+
+
+def positive_int(text):
+    """argparse type: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not an integer" % text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "must be a positive integer, got %s" % text
+        )
+    return value
 
 
 def build_parser():
@@ -31,7 +47,7 @@ def build_parser():
     )
     parser.add_argument(
         "--scale",
-        type=int,
+        type=positive_int,
         default=1,
         help="workload input scale factor (default 1)",
     )
@@ -40,7 +56,29 @@ def build_parser():
         default=None,
         help="comma-separated workload names (default: full Mediabench-like suite)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        help="worker processes for independent experiments (default 1: serial)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
     return parser
+
+
+def _resolve_workloads(spec):
+    """Parse a ``--workloads`` value; KeyError carries the unknown names."""
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    registry = all_workloads()
+    unknown = sorted(set(names) - set(registry))
+    if unknown:
+        raise KeyError(", ".join(unknown))
+    return [registry[name] for name in names]
 
 
 def main(argv=None):
@@ -48,23 +86,44 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
-            print("%-22s %s" % (name, EXPERIMENTS[name][0]))
+            print("%-22s %s" % (name, EXPERIMENTS[name].description))
         return 0
     workloads = None
-    if args.workloads:
-        workloads = [get_workload(name.strip()) for name in args.workloads.split(",")]
-    if args.experiment == "all":
-        names = [n for n in EXPERIMENTS if n != "fetchstats"]
-        for name in names:
-            print("=" * 72)
-            print(run_experiment(name, workloads=workloads, scale=args.scale))
-            print()
-        return 0
+    if args.workloads is not None:
+        try:
+            workloads = _resolve_workloads(args.workloads)
+        except KeyError as error:
+            print("unknown workload(s): %s" % error.args[0], file=sys.stderr)
+            print(
+                "available: %s" % ", ".join(sorted(all_workloads())),
+                file=sys.stderr,
+            )
+            return 2
+        if not workloads:
+            print("--workloads names no workloads", file=sys.stderr)
+            print(
+                "available: %s" % ", ".join(sorted(all_workloads())),
+                file=sys.stderr,
+            )
+            return 2
+    session = ExperimentSession(workloads=workloads, scale=args.scale)
+    names = None if args.experiment == "all" else [args.experiment]
     try:
-        print(run_experiment(args.experiment, workloads=workloads, scale=args.scale))
+        if args.experiment == "all" and args.format == "text" and args.jobs == 1:
+            # Stream each report as it completes.
+            for result in session.run_iter(names):
+                print(session.format_result_block(result))
+            return 0
+        results = session.run(names, jobs=args.jobs)
     except KeyError as error:
         print(str(error), file=sys.stderr)
         return 2
+    if args.format == "json":
+        print(session.report_json(results))
+    elif args.experiment == "all":
+        print(session.report_text(results))
+    else:
+        print(results[0].text)
     return 0
 
 

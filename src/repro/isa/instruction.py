@@ -208,8 +208,18 @@ class Instruction:
 
     @property
     def is_nop(self):
-        """True for the canonical ``sll $zero, $zero, 0`` no-op."""
-        return self.word == 0
+        """True for ``sll $zero, $zero, 0`` (the architectural no-op).
+
+        The rs field is a don't-care for shifts, so any of its 32
+        encodings — not just the canonical all-zero word — is a no-op.
+        """
+        return (
+            self.opcode == Opcode.SPECIAL
+            and self.funct == Funct.SLL
+            and self.rt == 0
+            and self.rd == 0
+            and self.shamt == 0
+        )
 
     def branch_target(self, pc):
         """Absolute branch target for a branch at address ``pc``."""

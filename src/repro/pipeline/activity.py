@@ -226,11 +226,19 @@ class ActivityModel:
         compressed["pc"] = pc_model.bits_operated
         return ActivityReport(name, baseline, compressed, count)
 
-    def suite_reports(self, workloads, scale=1):
-        """Per-workload reports plus the AVG row, like Tables 5 and 6."""
+    def suite_reports(self, workloads, scale=1, store=None):
+        """Per-workload reports plus the AVG row, like Tables 5 and 6.
+
+        ``store`` is an optional trace cache with the
+        :class:`repro.study.session.TraceStore` interface; without one
+        each workload's own per-scale cache is used.
+        """
         reports = []
         for workload in workloads:
-            records = workload.trace(scale=scale)
+            if store is None:
+                records = workload.trace(scale=scale)
+            else:
+                records = store.trace(workload, scale=scale)
             reports.append(self.process(records, name=workload.name))
         average = _average_report("AVG", reports)
         return reports, average

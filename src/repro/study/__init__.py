@@ -19,9 +19,25 @@ experiment id   paper artifact                              module
 ``bottleneck``  Section 5 (byte-serial stall analysis)      cpi_study
 ==============  ==========================================  =================
 
-Use :func:`repro.study.experiments.run_experiment` or the ``repro`` CLI.
+Use :func:`repro.study.experiments.run_experiment`, the ``repro`` CLI,
+or — to share one trace materialization across many experiments (and to
+run them in parallel) — :class:`repro.study.session.ExperimentSession`.
 """
 
-from repro.study.experiments import EXPERIMENTS, run_experiment
+from repro.study.experiments import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    canonical_experiment_ids,
+    run_experiment,
+)
+from repro.study.session import ExperimentResult, ExperimentSession, TraceStore
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentSession",
+    "ExperimentSpec",
+    "TraceStore",
+    "canonical_experiment_ids",
+    "run_experiment",
+]

@@ -47,11 +47,11 @@ _HEADERS = (
 )
 
 
-def run(scheme=BYTE_SCHEME, workloads=None, scale=1):
+def run(scheme=BYTE_SCHEME, workloads=None, scale=1, store=None):
     """Run the activity study; returns (reports, average, text)."""
     workloads = workloads or mediabench_suite()
     model = ActivityModel(scheme=scheme)
-    reports, average = model.suite_reports(workloads, scale=scale)
+    reports, average = model.suite_reports(workloads, scale=scale, store=store)
     paper_avg = PAPER_TABLE5_AVG if scheme is BYTE_SCHEME else (
         PAPER_TABLE6_AVG if scheme is HALFWORD_SCHEME else None
     )

@@ -8,6 +8,7 @@ side with the paper's quoted average.
 
 from repro.pipeline import simulate
 from repro.study.report import format_bar_chart, format_table, percent
+from repro.study.session import resolve_trace
 from repro.workloads import mediabench_suite
 
 #: Figure id -> (organizations shown, paper's average CPI overhead).
@@ -25,7 +26,7 @@ FIGURES = {
 }
 
 
-def collect_cpis(organizations, workloads=None, scale=1):
+def collect_cpis(organizations, workloads=None, scale=1, store=None):
     """CPI per (workload, organization), baseline included.
 
     Returns (names, table) where table maps organization -> list of CPI
@@ -37,19 +38,19 @@ def collect_cpis(organizations, workloads=None, scale=1):
     for organization in organizations:
         table[organization] = []
     for workload in workloads:
-        records = workload.trace(scale=scale)
+        records = resolve_trace(workload, scale, store)
         table["baseline32"].append(simulate("baseline32", records).cpi)
         for organization in organizations:
             table[organization].append(simulate(organization, records).cpi)
     return names, table
 
 
-def run_figure(figure, workloads=None, scale=1):
+def run_figure(figure, workloads=None, scale=1, store=None):
     """Reproduce one figure; returns (names, table, text)."""
     if figure not in FIGURES:
         raise KeyError("unknown figure %r (have %s)" % (figure, sorted(FIGURES)))
     organizations, paper_overheads = FIGURES[figure]
-    names, table = collect_cpis(organizations, workloads, scale)
+    names, table = collect_cpis(organizations, workloads, scale, store=store)
     rows = []
     for index, name in enumerate(names):
         row = [name, "%.3f" % table["baseline32"][index]]
@@ -89,13 +90,13 @@ def run_figure(figure, workloads=None, scale=1):
     return names, table, text
 
 
-def run_bottleneck(workloads=None, scale=1):
+def run_bottleneck(workloads=None, scale=1, store=None):
     """Section 5: stage bandwidth demand of the byte-serial pipeline."""
     workloads = workloads or mediabench_suite()
     totals = {}
     instructions = 0
     for workload in workloads:
-        records = workload.trace(scale=scale)
+        records = resolve_trace(workload, scale, store)
         result = simulate("byte_serial", records)
         for stage, value in result.stage_excess.items():
             totals[stage] = totals.get(stage, 0) + value

@@ -1,57 +1,101 @@
-"""Experiment registry: one entry per paper table/figure plus ablations."""
+"""Experiment registry: declarative specs, one per paper table/figure.
+
+Each experiment is an :class:`ExperimentSpec` — id, description, trace
+requirements and a runner ``f(workloads, scale, store)``.  The specs are
+what :class:`repro.study.session.ExperimentSession` schedules: the
+session materializes the required traces once in a shared
+:class:`~repro.study.session.TraceStore` and fans the runners out,
+serially or across worker processes.
+"""
 
 from repro.core.extension import BYTE_SCHEME, HALFWORD_SCHEME, TWO_BIT_SCHEME
 from repro.study import activity_study, cpi_study, funct_study, patterns_study, pc_study
 from repro.study.report import format_table, percent
+from repro.study.session import resolve_trace
 from repro.workloads import mediabench_suite
 
 
-def _run_table1(workloads=None, scale=1):
-    _counter, text = patterns_study.run(workloads, scale)
+class ExperimentSpec:
+    """Declarative description of one experiment.
+
+    ``runner(workloads=None, scale=1, store=None)`` returns the report
+    text.  ``alias_of`` marks alternate names for an existing experiment
+    so schedulers can skip them; ``required_traces`` tells the session
+    which ``(workload, scale)`` traces to materialize up front.
+    """
+
+    __slots__ = ("id", "description", "runner", "alias_of")
+
+    def __init__(self, id, description, runner, alias_of=None):
+        self.id = id
+        self.description = description
+        self.runner = runner
+        self.alias_of = alias_of
+
+    def required_traces(self, workloads=None, scale=1):
+        """The ``(workload, scale)`` pairs this experiment walks."""
+        return [(workload, scale) for workload in workloads or mediabench_suite()]
+
+    def run(self, workloads=None, scale=1, store=None):
+        """Execute the runner; returns the report text."""
+        return self.runner(workloads=workloads, scale=scale, store=store)
+
+    def __getitem__(self, index):
+        # Legacy tuple shape: spec[0] is the description, spec[1] the runner.
+        return (self.description, self.runner)[index]
+
+    def __repr__(self):
+        return "ExperimentSpec(%s)" % self.id
+
+
+def _run_table1(workloads=None, scale=1, store=None):
+    _counter, text = patterns_study.run(workloads, scale, store=store)
     return text
 
 
-def _run_table2(workloads=None, scale=1):
-    _rows, text = pc_study.run(workloads, scale)
+def _run_table2(workloads=None, scale=1, store=None):
+    _rows, text = pc_study.run(workloads, scale, store=store)
     return text
 
 
-def _run_table3(workloads=None, scale=1):
-    _stats, text = funct_study.run(workloads, scale)
+def _run_table3(workloads=None, scale=1, store=None):
+    _stats, text = funct_study.run(workloads, scale, store=store)
     return text
 
 
-def _run_table5(workloads=None, scale=1):
-    _reports, _avg, text = activity_study.run(BYTE_SCHEME, workloads, scale)
+def _run_table5(workloads=None, scale=1, store=None):
+    _reports, _avg, text = activity_study.run(BYTE_SCHEME, workloads, scale, store=store)
     return text
 
 
-def _run_table6(workloads=None, scale=1):
-    _reports, _avg, text = activity_study.run(HALFWORD_SCHEME, workloads, scale)
+def _run_table6(workloads=None, scale=1, store=None):
+    _reports, _avg, text = activity_study.run(
+        HALFWORD_SCHEME, workloads, scale, store=store
+    )
     return text
 
 
 def _run_figure(figure):
-    def runner(workloads=None, scale=1):
-        _names, _table, text = cpi_study.run_figure(figure, workloads, scale)
+    def runner(workloads=None, scale=1, store=None):
+        _names, _table, text = cpi_study.run_figure(figure, workloads, scale, store=store)
         return text
 
     return runner
 
 
-def _run_bottleneck(workloads=None, scale=1):
-    _totals, text = cpi_study.run_bottleneck(workloads, scale)
+def _run_bottleneck(workloads=None, scale=1, store=None):
+    _totals, text = cpi_study.run_bottleneck(workloads, scale, store=store)
     return text
 
 
-def _run_scheme_ablation(workloads=None, scale=1):
+def _run_scheme_ablation(workloads=None, scale=1, store=None):
     """Ablation: 2-bit vs 3-bit extension scheme storage/coverage."""
-    counter = patterns_study.collect_pattern_counter(workloads, scale)
+    counter = patterns_study.collect_pattern_counter(workloads, scale, store=store)
     from repro.core.compress import compression_ratio
 
     values = []
     for workload in workloads or mediabench_suite():
-        for record in workload.trace(scale=scale):
+        for record in resolve_trace(workload, scale, store):
             values.extend(record.read_values)
             if record.write_value is not None:
                 values.append(record.write_value)
@@ -79,13 +123,13 @@ def _run_scheme_ablation(workloads=None, scale=1):
     return text
 
 
-def _run_granularity_ablation(workloads=None, scale=1):
+def _run_granularity_ablation(workloads=None, scale=1, store=None):
     """Ablation: activity savings vs block granularity (byte/halfword)."""
     from repro.pipeline.activity import STAGES
 
     parts = []
     for scheme in (BYTE_SCHEME, HALFWORD_SCHEME):
-        _reports, average, _text = activity_study.run(scheme, workloads, scale)
+        _reports, average, _text = activity_study.run(scheme, workloads, scale, store=store)
         parts.append(
             (scheme.name, {stage: average.savings_percent(stage) for stage in STAGES})
         )
@@ -101,7 +145,7 @@ def _run_granularity_ablation(workloads=None, scale=1):
     )
 
 
-def _run_energy(workloads=None, scale=1):
+def _run_energy(workloads=None, scale=1, store=None):
     """Energy estimate: weighted activity x delay per organization.
 
     The paper's Section 7 defers energy quantification to circuit-level
@@ -132,7 +176,7 @@ def _run_energy(workloads=None, scale=1):
         edp_sum = 0.0
         cpi_overhead_sum = 0.0
         for workload in workloads:
-            records = workload.trace(scale=scale)
+            records = resolve_trace(workload, scale, store)
             report = activity_model.process(records, name=workload.name)
             baseline_cpi = simulate("baseline32", records).cpi
             result = simulate(org_name, records)
@@ -159,7 +203,7 @@ def _run_energy(workloads=None, scale=1):
     )
 
 
-def _run_memory_extension_ablation(workloads=None, scale=1):
+def _run_memory_extension_ablation(workloads=None, scale=1, store=None):
     """Section 1 option: keeping extension bits in main memory."""
     from repro.pipeline import ActivityModel
 
@@ -167,7 +211,7 @@ def _run_memory_extension_ablation(workloads=None, scale=1):
     rows = []
     for label, flag in (("regenerated at fill", False), ("maintained in memory", True)):
         model = ActivityModel(ext_bits_in_memory=flag)
-        _reports, average = model.suite_reports(workloads, scale=scale)
+        _reports, average = model.suite_reports(workloads, scale=scale, store=store)
         rows.append(
             (
                 label,
@@ -185,7 +229,7 @@ def _run_memory_extension_ablation(workloads=None, scale=1):
     )
 
 
-def _run_branch_prediction_ablation(workloads=None, scale=1):
+def _run_branch_prediction_ablation(workloads=None, scale=1, store=None):
     """Future work (Section 3): CPI with a bimodal predictor attached."""
     from repro.pipeline import InOrderPipeline, BimodalPredictor
     from repro.pipeline.organizations import get_organization
@@ -198,7 +242,7 @@ def _run_branch_prediction_ablation(workloads=None, scale=1):
         predicted_cpis = []
         accuracy_total = 0.0
         for workload in workloads:
-            records = workload.trace(scale=scale)
+            records = resolve_trace(workload, scale, store)
             org = get_organization(org_name)
             stall_cpis.append(InOrderPipeline(org).run(records).cpi)
             predictor = BimodalPredictor()
@@ -233,13 +277,13 @@ def _run_branch_prediction_ablation(workloads=None, scale=1):
     )
 
 
-def _run_segmentation_ablation(workloads=None, scale=1):
+def _run_segmentation_ablation(workloads=None, scale=1, store=None):
     """Future work (Section 2.1): non-uniform significance segments."""
     from repro.core.extension import SegmentedScheme
 
     values = []
     for workload in workloads or mediabench_suite():
-        for record in workload.trace(scale=scale):
+        for record in resolve_trace(workload, scale, store):
             values.extend(record.read_values)
             if record.write_value is not None:
                 values.append(record.write_value)
@@ -274,45 +318,90 @@ def _run_segmentation_ablation(workloads=None, scale=1):
     )
 
 
-#: Experiment id -> (description, runner).
-EXPERIMENTS = {
-    "table1": ("Table 1: significant-byte pattern frequencies", _run_table1),
-    "table2": ("Table 2: PC-update activity/latency vs block size", _run_table2),
-    "table3": ("Table 3 + Section 2.3: instruction statistics", _run_table3),
-    "fetchstats": ("alias of table3", _run_table3),
-    "table5": ("Table 5: activity savings, byte granularity", _run_table5),
-    "table6": ("Table 6: activity savings, halfword granularity", _run_table6),
-    "fig4": ("Figure 4: CPI, byte/halfword serial", _run_figure("fig4")),
-    "fig6": ("Figure 6: CPI, byte semi-parallel", _run_figure("fig6")),
-    "fig8": ("Figure 8: CPI, byte-parallel skewed", _run_figure("fig8")),
-    "fig10": ("Figure 10: CPI, compressed and skewed+bypasses", _run_figure("fig10")),
-    "bottleneck": ("Section 5: byte-serial bottleneck analysis", _run_bottleneck),
-    "ablation-schemes": ("Ablation: 2-bit vs 3-bit vs halfword schemes", _run_scheme_ablation),
-    "ablation-granularity": ("Ablation: byte vs halfword activity", _run_granularity_ablation),
-    "future-branch-prediction": (
+#: (id, description, runner, alias_of) — the declarative source of truth.
+_SPEC_TABLE = (
+    ("table1", "Table 1: significant-byte pattern frequencies", _run_table1, None),
+    ("table2", "Table 2: PC-update activity/latency vs block size", _run_table2, None),
+    ("table3", "Table 3 + Section 2.3: instruction statistics", _run_table3, None),
+    ("fetchstats", "alias of table3", _run_table3, "table3"),
+    ("table5", "Table 5: activity savings, byte granularity", _run_table5, None),
+    ("table6", "Table 6: activity savings, halfword granularity", _run_table6, None),
+    ("fig4", "Figure 4: CPI, byte/halfword serial", _run_figure("fig4"), None),
+    ("fig6", "Figure 6: CPI, byte semi-parallel", _run_figure("fig6"), None),
+    ("fig8", "Figure 8: CPI, byte-parallel skewed", _run_figure("fig8"), None),
+    (
+        "fig10",
+        "Figure 10: CPI, compressed and skewed+bypasses",
+        _run_figure("fig10"),
+        None,
+    ),
+    ("bottleneck", "Section 5: byte-serial bottleneck analysis", _run_bottleneck, None),
+    (
+        "ablation-schemes",
+        "Ablation: 2-bit vs 3-bit vs halfword schemes",
+        _run_scheme_ablation,
+        None,
+    ),
+    (
+        "ablation-granularity",
+        "Ablation: byte vs halfword activity",
+        _run_granularity_ablation,
+        None,
+    ),
+    (
+        "future-branch-prediction",
         "Future work: branch prediction ablation (Section 3)",
         _run_branch_prediction_ablation,
+        None,
     ),
-    "future-segmentation": (
+    (
+        "future-segmentation",
         "Future work: non-uniform significance segments (Section 2.1)",
         _run_segmentation_ablation,
+        None,
     ),
-    "energy": (
+    (
+        "energy",
         "Energy estimate: weighted activity x delay (Section 7 follow-up)",
         _run_energy,
+        None,
     ),
-    "ablation-memory-extension": (
+    (
+        "ablation-memory-extension",
         "Ablation: extension bits maintained in main memory (Section 1)",
         _run_memory_extension_ablation,
+        None,
     ),
+)
+
+#: Experiment id -> ExperimentSpec (aliases included).
+EXPERIMENTS = {
+    id: ExperimentSpec(id, description, runner, alias_of)
+    for id, description, runner, alias_of in _SPEC_TABLE
 }
 
 
-def run_experiment(name, workloads=None, scale=1):
+def canonical_experiment_ids():
+    """Sorted runnable ids: aliases and duplicate runners deduped out.
+
+    Dedupe is by runner identity, not just the ``alias_of`` marker, so a
+    future alias that forgets the marker still cannot be double-run.
+    """
+    seen_runners = set()
+    names = []
+    for name in sorted(EXPERIMENTS):
+        spec = EXPERIMENTS[name]
+        if spec.alias_of is not None or spec.runner in seen_runners:
+            continue
+        seen_runners.add(spec.runner)
+        names.append(name)
+    return names
+
+
+def run_experiment(name, workloads=None, scale=1, store=None):
     """Run one experiment by id; returns its report text."""
     if name not in EXPERIMENTS:
         raise KeyError(
             "unknown experiment %r; available: %s" % (name, ", ".join(sorted(EXPERIMENTS)))
         )
-    _description, runner = EXPERIMENTS[name]
-    return runner(workloads=workloads, scale=scale)
+    return EXPERIMENTS[name].run(workloads=workloads, scale=scale, store=store)

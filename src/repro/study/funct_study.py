@@ -10,6 +10,7 @@ instructions carrying immediates with 80% of those fitting 8 bits, and
 
 from repro.core.icompress import FetchStatistics, InstructionCompressor, build_recode_table
 from repro.study.report import format_comparison, format_table, percent
+from repro.study.session import resolve_trace
 from repro.workloads import mediabench_suite
 
 #: Section 2.3 headline numbers from the paper.
@@ -25,18 +26,18 @@ PAPER_FETCH_STATS = {
 }
 
 
-def collect_fetch_statistics(workloads=None, scale=1, compressor=None):
+def collect_fetch_statistics(workloads=None, scale=1, compressor=None, store=None):
     """Accumulate FetchStatistics over the suite's dynamic instructions."""
     stats = FetchStatistics(compressor=compressor)
     for workload in workloads or mediabench_suite():
-        for record in workload.trace(scale=scale):
+        for record in resolve_trace(workload, scale, store):
             stats.record(record.instr)
     return stats
 
 
-def run(workloads=None, scale=1):
+def run(workloads=None, scale=1, store=None):
     """Run the Table 3 + fetch statistics study; returns (stats, text)."""
-    stats = collect_fetch_statistics(workloads, scale)
+    stats = collect_fetch_statistics(workloads, scale, store=store)
     funct_rows = []
     for funct, pct, cumulative in stats.funct_table()[:12]:
         funct_rows.append((funct.name, "%.1f" % pct, "%.1f" % cumulative))
@@ -72,7 +73,7 @@ def run(workloads=None, scale=1):
     return stats, table3 + "\n\n" + comparison + profile_note
 
 
-def profile_recode_table(workloads=None, scale=1, slots=8):
+def profile_recode_table(workloads=None, scale=1, slots=8, store=None):
     """Derive a fresh top-N funct recode table from suite traces."""
-    stats = collect_fetch_statistics(workloads, scale)
+    stats = collect_fetch_statistics(workloads, scale, store=store)
     return build_recode_table(stats.funct_counts, slots=slots)

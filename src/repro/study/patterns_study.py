@@ -7,6 +7,7 @@ ones the cheaper 2-bit scheme can express) cover ~94% of values.
 
 from repro.core.patterns import PatternCounter
 from repro.study.report import format_table, percent
+from repro.study.session import resolve_trace
 from repro.workloads import mediabench_suite
 
 #: Paper Table 1 — (pattern, percent of operand values, cumulative).
@@ -22,11 +23,11 @@ PAPER_TABLE1 = (
 )
 
 
-def collect_pattern_counter(workloads=None, scale=1, include_writes=True):
+def collect_pattern_counter(workloads=None, scale=1, include_writes=True, store=None):
     """Count patterns over all register operand values of the suite."""
     counter = PatternCounter()
     for workload in workloads or mediabench_suite():
-        for record in workload.trace(scale=scale):
+        for record in resolve_trace(workload, scale, store):
             for value in record.read_values:
                 counter.record(value)
             if include_writes and record.write_value is not None:
@@ -34,9 +35,9 @@ def collect_pattern_counter(workloads=None, scale=1, include_writes=True):
     return counter
 
 
-def run(workloads=None, scale=1):
+def run(workloads=None, scale=1, store=None):
     """Run the Table 1 study; returns (counter, report text)."""
-    counter = collect_pattern_counter(workloads, scale)
+    counter = collect_pattern_counter(workloads, scale, store=store)
     paper_by_pattern = {row[0]: row[1] for row in PAPER_TABLE1}
     rows = []
     for pattern, measured_pct, cumulative in counter.table():

@@ -8,6 +8,7 @@ sequential-only savings (Table 5's 73.3% vs the analytic 87%).
 
 from repro.core.pc import BlockSerialPC, expected_activity_bits, expected_latency_cycles
 from repro.study.report import format_table, percent
+from repro.study.session import resolve_trace
 from repro.workloads import mediabench_suite
 
 #: The paper's Table 2 rows for the block sizes that divide 32.
@@ -19,11 +20,11 @@ PAPER_TABLE2 = {
 }
 
 
-def measure_pc_stream(block_bits, workloads=None, scale=1):
+def measure_pc_stream(block_bits, workloads=None, scale=1, store=None):
     """Drive a BlockSerialPC with the suite's real PC streams."""
     model = BlockSerialPC(block_bits=block_bits)
     for workload in workloads or mediabench_suite():
-        records = workload.trace(scale=scale)
+        records = resolve_trace(workload, scale, store)
         previous = None
         for record in records:
             if previous is not None and record.pc != previous + 4:
@@ -34,14 +35,14 @@ def measure_pc_stream(block_bits, workloads=None, scale=1):
     return model
 
 
-def run(workloads=None, scale=1, block_sizes=(1, 2, 4, 8, 16, 32)):
+def run(workloads=None, scale=1, block_sizes=(1, 2, 4, 8, 16, 32), store=None):
     """Run the Table 2 study; returns (rows, report text)."""
     rows = []
     for block_bits in block_sizes:
         activity = expected_activity_bits(block_bits)
         latency = expected_latency_cycles(block_bits)
         paper = PAPER_TABLE2.get(block_bits)
-        measured = measure_pc_stream(block_bits, workloads, scale)
+        measured = measure_pc_stream(block_bits, workloads, scale, store=store)
         rows.append(
             (
                 block_bits,

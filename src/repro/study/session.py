@@ -1,0 +1,261 @@
+"""Cached, parallel experiment engine.
+
+The studies are trace-driven: every experiment walks the dynamic trace
+of each workload, and materializing those traces (compile + simulate)
+dwarfs the analysis itself.  :class:`TraceStore` materializes each
+``(workload, scale)`` trace exactly once and shares it across every
+experiment in a session; :class:`ExperimentSession` schedules the
+declarative specs from :mod:`repro.study.experiments` over the store,
+serially or across worker processes, with deterministic ordered output
+and an optional machine-readable JSON report.
+
+Parallel execution forks workers *after* the store is warm, so the
+workers inherit the materialized traces and nothing is simulated twice;
+``pool.map`` keeps results in submission order, making ``--jobs N``
+output byte-identical to a serial run.
+
+This module deliberately imports :mod:`repro.study.experiments` lazily:
+the study modules call :func:`resolve_trace` from here, and the
+experiment registry imports the study modules.
+"""
+
+import json
+import multiprocessing
+import time
+from collections import namedtuple
+
+from repro.workloads import mediabench_suite
+
+
+def resolve_trace(workload, scale=1, store=None):
+    """Trace records via the store when given, else the workload cache."""
+    if store is None:
+        return workload.trace(scale=scale)
+    return store.trace(workload, scale=scale)
+
+
+class TraceStore:
+    """Materializes each ``(workload, scale)`` trace exactly once.
+
+    The store keeps its own cache keyed by ``(workload.name, scale)`` and
+    counts every miss in :attr:`materializations`, so a session can
+    assert that no trace was produced twice no matter how many
+    experiments consumed it.
+    """
+
+    def __init__(self):
+        self._traces = {}
+        self._owners = {}
+        #: (workload name, scale) -> number of times the trace was built.
+        self.materializations = {}
+
+    def trace(self, workload, scale=1):
+        """Trace records for ``workload`` at ``scale`` (materialized once)."""
+        key = (workload.name, scale)
+        owner = self._owners.get(workload.name)
+        if owner is not None and owner is not workload:
+            # Names are the cache identity; a second Workload object
+            # reusing one would silently receive the first one's trace.
+            raise ValueError(
+                "TraceStore already holds a different workload named %r"
+                % workload.name
+            )
+        self._owners[workload.name] = workload
+        if key not in self._traces:
+            self.materializations[key] = self.materializations.get(key, 0) + 1
+            self._traces[key] = workload.trace(scale=scale)
+        return self._traces[key]
+
+    def times_materialized(self, name, scale=1):
+        """How often the named trace was actually built (0 if never)."""
+        return self.materializations.get((name, scale), 0)
+
+    def keys(self):
+        """The ``(name, scale)`` pairs currently held."""
+        return list(self._traces)
+
+    def clear(self):
+        """Drop all cached traces and counters."""
+        self._traces.clear()
+        self._owners.clear()
+        self.materializations.clear()
+
+    def __len__(self):
+        return len(self._traces)
+
+    def __repr__(self):
+        return "TraceStore(%d traces)" % len(self._traces)
+
+
+#: One finished experiment: id, human description, report text, wall time.
+ExperimentResult = namedtuple(
+    "ExperimentResult", ("id", "description", "text", "seconds")
+)
+
+
+# Each worker receives the session once, at pool start-up, through the
+# fork-inherited initializer (no pickling); per task only the experiment
+# id string travels.  A global keeps run() reentrant across sessions.
+_WORKER_SESSION = None
+
+
+def _worker_init(session):
+    global _WORKER_SESSION
+    _WORKER_SESSION = session
+
+
+def _worker_run(name):
+    return _WORKER_SESSION.run_one(name)
+
+
+class ExperimentSession:
+    """Schedules experiments over a shared :class:`TraceStore`.
+
+    ``run()`` resolves the requested experiment ids against the registry,
+    warms the store (each required trace exactly once), then executes the
+    specs serially or on a fork-based process pool.  Results always come
+    back in request order.
+    """
+
+    def __init__(self, workloads=None, scale=1, store=None):
+        self.workloads = (
+            list(workloads) if workloads is not None else mediabench_suite()
+        )
+        self.scale = scale
+        self.store = store if store is not None else TraceStore()
+
+    # ------------------------------------------------------------ scheduling
+
+    def experiment_ids(self):
+        """Canonical ids in sorted order: aliases and duplicate runners out."""
+        from repro.study.experiments import canonical_experiment_ids
+
+        return canonical_experiment_ids()
+
+    def required_traces(self, names):
+        """The ``(workload, scale)`` pairs the named experiments consume."""
+        from repro.study.experiments import EXPERIMENTS
+
+        required = []
+        seen = set()
+        for name in names:
+            for workload, scale in EXPERIMENTS[name].required_traces(
+                self.workloads, self.scale
+            ):
+                key = (workload.name, scale)
+                if key not in seen:
+                    seen.add(key)
+                    required.append((workload, scale))
+        return required
+
+    def prepare(self, names=None):
+        """Materialize every trace the named experiments need, exactly once."""
+        names = list(names) if names is not None else self.experiment_ids()
+        for workload, scale in self.required_traces(names):
+            self.store.trace(workload, scale=scale)
+        return self.store
+
+    # -------------------------------------------------------------- execution
+
+    def run_one(self, name):
+        """Execute one experiment; returns an :class:`ExperimentResult`."""
+        from repro.study.experiments import EXPERIMENTS, run_experiment
+
+        start = time.perf_counter()
+        text = run_experiment(
+            name, workloads=self.workloads, scale=self.scale, store=self.store
+        )
+        return ExperimentResult(
+            id=name,
+            description=EXPERIMENTS[name].description,
+            text=text,
+            seconds=time.perf_counter() - start,
+        )
+
+    def run(self, names=None, jobs=1):
+        """Run experiments (default: every canonical one) in order.
+
+        ``jobs > 1`` fans independent experiments out across forked
+        worker processes; the output is byte-identical to a serial run.
+        """
+        names = self._validate(names)
+        self.prepare(names)
+        if jobs > 1 and len(names) > 1:
+            return self._run_parallel(names, jobs)
+        return [self.run_one(name) for name in names]
+
+    def run_iter(self, names=None):
+        """Serial generator form of :meth:`run`: results as they finish.
+
+        Lets a consumer stream each report the moment it completes (the
+        CLI does, for serial ``repro all``) instead of waiting for the
+        whole batch.
+        """
+        names = self._validate(names)
+        self.prepare(names)
+        for name in names:
+            yield self.run_one(name)
+
+    def _validate(self, names):
+        """Resolve the id list, failing before any trace materializes."""
+        from repro.study.experiments import EXPERIMENTS
+
+        names = list(names) if names is not None else self.experiment_ids()
+        for name in names:
+            if name not in EXPERIMENTS:
+                raise KeyError(
+                    "unknown experiment %r; available: %s"
+                    % (name, ", ".join(sorted(EXPERIMENTS)))
+                )
+        return names
+
+    def _run_parallel(self, names, jobs):
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # no fork on this platform: stay correct, serial
+            return [self.run_one(name) for name in names]
+        with context.Pool(
+            processes=min(jobs, len(names)),
+            initializer=_worker_init,
+            initargs=(self,),
+        ) as pool:
+            return pool.map(_worker_run, names, chunksize=1)
+
+    # -------------------------------------------------------------- reporting
+
+    @staticmethod
+    def format_result_block(result):
+        """One experiment's block of the ``repro all`` stream.
+
+        Both the buffered report and the CLI's serial streaming path go
+        through this, keeping ``--jobs 1`` and ``--jobs N`` output
+        byte-identical by construction.
+        """
+        return "%s\n%s\n" % ("=" * 72, result.text)
+
+    def report_text(self, results):
+        """The classic ``repro all`` text stream, in result order."""
+        return "\n".join(
+            self.format_result_block(result) for result in results
+        )
+
+    def report_json(self, results, indent=2):
+        """Machine-readable report: ids, texts, timings, trace counters."""
+        payload = {
+            "scale": self.scale,
+            "workloads": [workload.name for workload in self.workloads],
+            "experiments": [
+                {
+                    "id": result.id,
+                    "description": result.description,
+                    "seconds": round(result.seconds, 6),
+                    "text": result.text,
+                }
+                for result in results
+            ],
+            "trace_materializations": {
+                "%s@%d" % key: count
+                for key, count in sorted(self.store.materializations.items())
+            },
+        }
+        return json.dumps(payload, indent=indent)

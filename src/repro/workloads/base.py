@@ -39,13 +39,21 @@ class Workload:
         return self._programs[scale]
 
     def run(self, scale=1, trace=True, max_instructions=20_000_000):
-        """Execute; returns (trace_records, interpreter), cached per scale."""
+        """Execute; returns (trace_records, interpreter).
+
+        The cache is limit-aware: a completed run is reused only when
+        its executed instruction count fits the requested
+        ``max_instructions``, so a stricter limit re-executes (and trips
+        the limit) instead of silently returning a longer cached run.
+        """
         key = (scale, trace)
-        if key not in self._runs:
-            memory, machine = load_program(self.program(scale))
-            interpreter = Interpreter(memory, machine, trace=trace)
-            interpreter.run(max_instructions)
-            self._runs[key] = (interpreter.trace_records, interpreter)
+        cached = self._runs.get(key)
+        if cached is not None and cached[1].instructions_executed <= max_instructions:
+            return cached
+        memory, machine = load_program(self.program(scale))
+        interpreter = Interpreter(memory, machine, trace=trace)
+        interpreter.run(max_instructions)
+        self._runs[key] = (interpreter.trace_records, interpreter)
         return self._runs[key]
 
     def trace(self, scale=1):

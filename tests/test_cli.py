@@ -1,5 +1,7 @@
 """Tests for the repro command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -11,6 +13,8 @@ class TestParser:
         assert args.experiment == "table1"
         assert args.scale == 1
         assert args.workloads is None
+        assert args.jobs == 1
+        assert args.format == "text"
 
     def test_options(self):
         args = build_parser().parse_args(
@@ -18,6 +22,29 @@ class TestParser:
         )
         assert args.scale == 2
         assert args.workloads == "rawcaudio,cjpeg"
+
+    def test_jobs_and_format(self):
+        args = build_parser().parse_args(["all", "--jobs", "4", "--format", "json"])
+        assert args.jobs == 4
+        assert args.format == "json"
+
+    @pytest.mark.parametrize("value", ["0", "-3", "x"])
+    def test_scale_must_be_positive_int(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["table1", "--scale", value])
+        assert excinfo.value.code == 2
+        assert "--scale" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_jobs_must_be_positive_int(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["all", "--jobs", value])
+        assert excinfo.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_format_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["all", "--format", "xml"])
 
 
 class TestMain:
@@ -38,6 +65,49 @@ class TestMain:
         err = capsys.readouterr().err
         assert "unknown experiment" in err
 
-    def test_unknown_workload_raises(self):
-        with pytest.raises(KeyError):
-            main(["table2", "--workloads", "doom3"])
+    def test_unknown_workload_exits_with_available_names(self, capsys):
+        assert main(["table2", "--workloads", "doom3"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload(s): doom3" in err
+        assert "rawcaudio" in err  # the available names are listed
+
+    def test_unknown_workload_reported_even_when_mixed_with_known(self, capsys):
+        assert main(["table2", "--workloads", "rawcaudio,doom3,quake2"]) == 2
+        err = capsys.readouterr().err
+        assert "doom3, quake2" in err
+
+    @pytest.mark.parametrize("value", ["", ",", " , "])
+    def test_empty_workloads_value_rejected(self, value, capsys):
+        # An explicit-but-empty --workloads must not silently fall back
+        # to the full suite (bypassing the session's trace store).
+        assert main(["table2", "--workloads", value]) == 2
+        assert "names no workloads" in capsys.readouterr().err
+
+    def test_json_format_single_experiment(self, capsys):
+        assert main(["table1", "--workloads", "synth_small", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workloads"] == ["synth_small"]
+        assert payload["experiments"][0]["id"] == "table1"
+        assert "Table 1" in payload["experiments"][0]["text"]
+        assert payload["trace_materializations"] == {"synth_small@1": 1}
+
+    def test_jobs_flag_accepted_for_single_experiment(self, capsys):
+        assert main(["table2", "--workloads", "synth_small", "--jobs", "4"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_all_streaming_matches_buffered_report(self, capsys, monkeypatch):
+        # Serial `repro all` streams per-experiment; its bytes must equal
+        # the buffered report the parallel path prints.
+        from repro.study.session import ExperimentSession
+
+        ids = ["table1", "table2"]
+        monkeypatch.setattr(
+            ExperimentSession, "experiment_ids", lambda self: list(ids)
+        )
+        from repro.workloads import get_workload
+
+        assert main(["all", "--workloads", "synth_small"]) == 0
+        streamed = capsys.readouterr().out
+        session = ExperimentSession(workloads=[get_workload("synth_small")])
+        buffered = session.report_text(session.run(ids)) + "\n"
+        assert streamed == buffered

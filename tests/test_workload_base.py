@@ -59,6 +59,27 @@ class TestWorkloadLifecycle:
         second = workload.run(scale=1)
         assert first is second
 
+    def test_run_stricter_limit_reexecutes(self):
+        # A stricter limit must re-execute (and here, trip the limit),
+        # not silently reuse the cached longer run.
+        from repro.sim.interpreter import SimulationError
+
+        workload, _ = make_counter_workload()
+        full_records, interpreter = workload.run(scale=1)
+        with pytest.raises(SimulationError):
+            workload.run(
+                scale=1, max_instructions=interpreter.instructions_executed - 1
+            )
+        # The completed run stays cached.
+        assert workload.run(scale=1)[0] is full_records
+
+    def test_run_cache_is_limit_aware_not_duplicated(self):
+        # Any limit a completed run fits reuses it — no re-simulation.
+        workload, _ = make_counter_workload()
+        default = workload.run(scale=1)
+        assert workload.run(scale=1, max_instructions=10_000_000) is default
+        assert workload.run(scale=1, max_instructions=30_000_000) is default
+
     def test_trace_and_output(self):
         workload, _ = make_counter_workload()
         records = workload.trace(scale=1)

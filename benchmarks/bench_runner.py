@@ -2,11 +2,14 @@
 
 Not a paper artifact — tracks the cost structure the engine exists to
 improve: cold-cache runs (trace materialization dominates) vs warm-cache
-runs (analysis only), and serial vs parallel scheduling of independent
-experiments over a shared, pre-materialized TraceStore.
+runs (analysis only), disk-warm runs (traces decoded from the
+significance-compressed persistent cache instead of simulated), and
+serial vs parallel scheduling of independent experiments over a shared,
+pre-materialized TraceStore.
 """
 
-from repro.study.session import ExperimentSession
+from repro.study.session import ExperimentSession, TraceStore
+from repro.study.trace_cache import TraceCache
 from repro.workloads import get_workload
 
 #: Trace-analysis experiments only, so the engine overhead is visible.
@@ -40,6 +43,27 @@ def test_runner_warm_cache(benchmark):
         lambda: session.run(RUNNER_IDS), rounds=3, iterations=1
     )
     assert all(count == 1 for count in session.store.materializations.values())
+    assert len(results) == len(RUNNER_IDS)
+
+
+def test_runner_disk_warm(benchmark, tmp_path):
+    # Populate the persistent cache once, then measure runs whose traces
+    # come from decoding cache files rather than simulation.
+    cache = TraceCache(tmp_path)
+    ExperimentSession(
+        workloads=_workloads(), store=TraceStore(cache=cache)
+    ).prepare(RUNNER_IDS)
+
+    def run_disk_warm():
+        workloads = _workloads()
+        for workload in workloads:
+            workload.clear_cache()
+        session = ExperimentSession(
+            workloads=workloads, store=TraceStore(cache=cache)
+        )
+        return session.run(RUNNER_IDS)
+
+    results = benchmark.pedantic(run_disk_warm, rounds=3, iterations=1)
     assert len(results) == len(RUNNER_IDS)
 
 

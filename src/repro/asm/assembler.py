@@ -175,20 +175,15 @@ class _Assembler:
     # -------------------------------------------------------------- pass 2
 
     def emit(self):
-        segment = "text"
         pc = self.text_base
         data_pc = self.data_base
         for stmt in self.statements:
             if stmt.kind == Statement.KIND_LABEL:
                 continue
             if stmt.kind == Statement.KIND_DIRECTIVE:
-                if stmt.name == ".text":
-                    segment = "text"
-                elif stmt.name == ".data":
-                    segment = "data"
-                elif stmt.name == ".globl":
-                    pass
-                else:
+                # Segment tracking happened in pass 1; only data
+                # directives emit bytes here.
+                if stmt.name not in (".text", ".data", ".globl"):
                     data_pc = self._emit_data(stmt, data_pc)
                 continue
             words = self._encode(stmt, pc)

@@ -9,13 +9,21 @@ Examples::
     repro all                       # every table and figure in sequence
     repro all --jobs 4              # same output, experiments in parallel
     repro all --format json         # machine-readable report
+    repro all --cache-dir .cache    # persist traces across processes
+    repro cache info                # trace-cache size and compression
+    repro cache clear               # drop every cached trace
+
+The persistent trace cache directory defaults to the ``REPRO_CACHE_DIR``
+environment variable; ``--cache-dir`` overrides it.
 """
 
 import argparse
+import json
 import sys
 
 from repro.study.experiments import EXPERIMENTS
 from repro.study.session import ExperimentSession
+from repro.study.trace_cache import ENV_CACHE_DIR, TraceCache, default_cache_dir
 from repro.workloads import all_workloads
 
 
@@ -43,7 +51,7 @@ def build_parser():
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'repro list'), 'all', or 'list'",
+        help="experiment id (see 'repro list'), 'all', 'list', or 'cache'",
     )
     parser.add_argument(
         "--scale",
@@ -68,6 +76,39 @@ def build_parser():
         default="text",
         help="report format (default text)",
     )
+    _add_cache_dir_option(parser)
+    return parser
+
+
+def _add_cache_dir_option(parser):
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persistent trace-cache directory (default: $%s when set); "
+            "warm runs skip simulation entirely" % ENV_CACHE_DIR
+        ),
+    )
+
+
+def build_cache_parser():
+    """Parser for the ``repro cache`` maintenance subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect or clear the persistent trace cache.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("info", "clear"),
+        help="'info' reports sizes and compression; 'clear' deletes entries",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format for 'info' (default text)",
+    )
+    _add_cache_dir_option(parser)
     return parser
 
 
@@ -81,8 +122,50 @@ def _resolve_workloads(spec):
     return [registry[name] for name in names]
 
 
+def _resolve_cache_dir(args):
+    """The effective cache directory: ``--cache-dir`` beats the env var."""
+    return args.cache_dir if args.cache_dir is not None else default_cache_dir()
+
+
+def _cache_main(argv):
+    """Run ``repro cache info|clear``."""
+    args = build_cache_parser().parse_args(argv)
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is None:
+        print(
+            "no trace cache configured: pass --cache-dir or set $%s"
+            % ENV_CACHE_DIR,
+            file=sys.stderr,
+        )
+        return 2
+    cache = TraceCache(cache_dir)
+    if args.action == "clear":
+        print("removed %d cache entries from %s" % (cache.clear(), cache.root))
+        return 0
+    info = cache.info()
+    if args.format == "json":
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    print("trace cache: %s (codec v%d)" % (info["dir"], info["codec_version"]))
+    print("entries: %d" % info["entries"])
+    print("records: %d" % info["records"])
+    print("encoded bytes: %d" % info["encoded_bytes"])
+    print("fixed-width bytes: %d" % info["naive_bytes"])
+    if info["naive_bytes"]:
+        print(
+            "compression ratio: %.3f (%.1f%% smaller than a fixed-width dump)"
+            % (info["ratio"], 100.0 * (1.0 - info["ratio"]))
+        )
+    if info["unreadable"]:
+        print("unreadable entries: %d" % info["unreadable"], file=sys.stderr)
+    return 0
+
+
 def main(argv=None):
     """CLI entry point."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["cache"]:
+        return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
@@ -106,7 +189,11 @@ def main(argv=None):
                 file=sys.stderr,
             )
             return 2
-    session = ExperimentSession(workloads=workloads, scale=args.scale)
+    session = ExperimentSession(
+        workloads=workloads,
+        scale=args.scale,
+        cache_dir=_resolve_cache_dir(args),
+    )
     names = None if args.experiment == "all" else [args.experiment]
     try:
         if args.experiment == "all" and args.format == "text" and args.jobs == 1:

@@ -22,10 +22,7 @@ implementations can start decode/register-read after two bytes.
 """
 
 from repro.isa.opcodes import (
-    IMM_ALU_OPCODES,
-    LOAD_SIZES,
     SHAMT_FUNCTS,
-    STORE_SIZES,
     ZERO_EXTENDED_IMM,
     Funct,
     Opcode,

@@ -24,7 +24,7 @@ whole-line contents; the approximation is documented in DESIGN.md).
 """
 
 from repro.core.extension import BYTE_SCHEME
-from repro.core.icompress import INSTRUCTION_EXT_BITS, InstructionCompressor
+from repro.core.icompress import InstructionCompressor
 from repro.core.pc import BlockSerialPC
 from repro.pipeline.siginfo import alu_activity
 from repro.sim.hierarchy import MemoryHierarchy

@@ -16,8 +16,22 @@ from repro.sim.machine import Machine
 from repro.sim.memory import Memory
 from repro.sim.tlb import TLB
 from repro.sim.trace import TraceRecord, run_trace
+from repro.sim.tracefile import (
+    CODEC_VERSION,
+    TraceCodecError,
+    decode_records,
+    dump_trace,
+    encode_records,
+    load_trace,
+)
 
 __all__ = [
+    "CODEC_VERSION",
+    "TraceCodecError",
+    "decode_records",
+    "dump_trace",
+    "encode_records",
+    "load_trace",
     "Cache",
     "CacheConfig",
     "PAPER_HIERARCHY",

@@ -51,6 +51,25 @@ class TraceRecord:
     def is_memory(self):
         return self.mem_addr is not None
 
+    def __eq__(self, other):
+        """Field-wise equality (instructions compare by encoded word).
+
+        The persistent trace cache round-trips records through the
+        significance-compressed codec; this is what "decoded equals
+        freshly simulated" means.
+        """
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot)
+            for slot in self.__slots__
+        )
+
+    # Keep records hashable by identity (defining __eq__ alone would set
+    # __hash__ to None); records are mutable during trace construction,
+    # so field-based hashing would be unsound anyway.
+    __hash__ = object.__hash__
+
     def __repr__(self):
         return "TraceRecord(0x%08x %s)" % (self.pc, self.instr.mnemonic)
 

@@ -31,12 +31,14 @@ from repro.study.experiments import (
     run_experiment,
 )
 from repro.study.session import ExperimentResult, ExperimentSession, TraceStore
+from repro.study.trace_cache import TraceCache
 
 __all__ = [
     "EXPERIMENTS",
     "ExperimentResult",
     "ExperimentSession",
     "ExperimentSpec",
+    "TraceCache",
     "TraceStore",
     "canonical_experiment_ids",
     "run_experiment",

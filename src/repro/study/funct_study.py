@@ -8,8 +8,8 @@ instructions carrying immediates with 80% of those fitting 8 bits, and
 86.7% of R-format instructions needing only three bytes.
 """
 
-from repro.core.icompress import FetchStatistics, InstructionCompressor, build_recode_table
-from repro.study.report import format_comparison, format_table, percent
+from repro.core.icompress import FetchStatistics, build_recode_table
+from repro.study.report import format_comparison, format_table
 from repro.study.session import resolve_trace
 from repro.workloads import mediabench_suite
 

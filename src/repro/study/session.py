@@ -7,7 +7,10 @@ dwarfs the analysis itself.  :class:`TraceStore` materializes each
 experiment in a session; :class:`ExperimentSession` schedules the
 declarative specs from :mod:`repro.study.experiments` over the store,
 serially or across worker processes, with deterministic ordered output
-and an optional machine-readable JSON report.
+and an optional machine-readable JSON report.  Backed by a persistent
+:class:`~repro.study.trace_cache.TraceCache` (``cache_dir=...`` /
+``repro all --cache-dir``), the store also amortizes materialization
+across processes and CI runs: a warm run simulates nothing.
 
 Parallel execution forks workers *after* the store is warm, so the
 workers inherit the materialized traces and nothing is simulated twice;
@@ -21,6 +24,7 @@ experiment registry imports the study modules.
 
 import json
 import multiprocessing
+import sys
 import time
 from collections import namedtuple
 
@@ -41,13 +45,24 @@ class TraceStore:
     counts every miss in :attr:`materializations`, so a session can
     assert that no trace was produced twice no matter how many
     experiments consumed it.
+
+    With a persistent ``cache`` (a
+    :class:`~repro.study.trace_cache.TraceCache`), lookups fall through
+    memory → disk → materialize: a disk hit decodes the
+    significance-compressed trace file instead of simulating (counted in
+    :attr:`disk_hits`), and a materialized trace is written back so the
+    next process — or the next CI run — skips simulation entirely.
     """
 
-    def __init__(self):
+    def __init__(self, cache=None):
         self._traces = {}
         self._owners = {}
+        #: Optional persistent TraceCache backing this store.
+        self.cache = cache
         #: (workload name, scale) -> number of times the trace was built.
         self.materializations = {}
+        #: (workload name, scale) -> number of persistent-cache loads.
+        self.disk_hits = {}
 
     def trace(self, workload, scale=1):
         """Trace records for ``workload`` at ``scale`` (materialized once)."""
@@ -62,8 +77,19 @@ class TraceStore:
             )
         self._owners[workload.name] = workload
         if key not in self._traces:
-            self.materializations[key] = self.materializations.get(key, 0) + 1
-            self._traces[key] = workload.trace(scale=scale)
+            records = None
+            if self.cache is not None:
+                records = self.cache.load(workload, scale=scale)
+                if records is not None:
+                    self.disk_hits[key] = self.disk_hits.get(key, 0) + 1
+            if records is None:
+                self.materializations[key] = (
+                    self.materializations.get(key, 0) + 1
+                )
+                records = workload.trace(scale=scale)
+                if self.cache is not None:
+                    self.cache.store(workload, scale, records)
+            self._traces[key] = records
         return self._traces[key]
 
     def times_materialized(self, name, scale=1):
@@ -75,10 +101,15 @@ class TraceStore:
         return list(self._traces)
 
     def clear(self):
-        """Drop all cached traces and counters."""
+        """Drop all cached in-memory traces and counters.
+
+        The persistent cache directory (if any) is left untouched; use
+        :meth:`~repro.study.trace_cache.TraceCache.clear` for that.
+        """
         self._traces.clear()
         self._owners.clear()
         self.materializations.clear()
+        self.disk_hits.clear()
 
     def __len__(self):
         return len(self._traces)
@@ -117,12 +148,21 @@ class ExperimentSession:
     back in request order.
     """
 
-    def __init__(self, workloads=None, scale=1, store=None):
+    def __init__(self, workloads=None, scale=1, store=None, cache_dir=None):
         self.workloads = (
             list(workloads) if workloads is not None else mediabench_suite()
         )
         self.scale = scale
-        self.store = store if store is not None else TraceStore()
+        if store is None:
+            cache = None
+            if cache_dir is not None:
+                from repro.study.trace_cache import TraceCache
+
+                cache = TraceCache(cache_dir)
+            store = TraceStore(cache=cache)
+        elif cache_dir is not None:
+            raise ValueError("pass cache_dir or a store, not both")
+        self.store = store
 
     # ------------------------------------------------------------ scheduling
 
@@ -213,6 +253,12 @@ class ExperimentSession:
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # no fork on this platform: stay correct, serial
+            print(
+                "repro: fork start method unavailable on this platform; "
+                "running %d experiments serially despite --jobs %d"
+                % (len(names), jobs),
+                file=sys.stderr,
+            )
             return [self.run_one(name) for name in names]
         with context.Pool(
             processes=min(jobs, len(names)),
@@ -257,5 +303,12 @@ class ExperimentSession:
                 "%s@%d" % key: count
                 for key, count in sorted(self.store.materializations.items())
             },
+            "trace_disk_hits": {
+                "%s@%d" % key: count
+                for key, count in sorted(self.store.disk_hits.items())
+            },
+            "trace_cache_dir": (
+                self.store.cache.root if self.store.cache is not None else None
+            ),
         }
         return json.dumps(payload, indent=indent)

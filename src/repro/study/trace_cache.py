@@ -1,0 +1,234 @@
+"""Persistent on-disk trace cache.
+
+Materializing a trace (compile + simulate) dwarfs analysis, and PR 1's
+:class:`~repro.study.session.TraceStore` only amortizes that cost within
+one process.  :class:`TraceCache` extends the amortization across
+processes and CI runs: every materialized trace is written to a cache
+directory in the significance-compressed format of
+:mod:`repro.sim.tracefile`, and later sessions read it back instead of
+simulating.
+
+Entries are keyed by ``(workload name, scale, source hash, toolchain
+fingerprint, codec version)``:
+
+* the *source hash* covers the workload's generated MiniC text, so any
+  kernel or input change (including the ``scale``, which shapes the
+  text) invalidates;
+* the *toolchain fingerprint* covers every Python source file of the
+  compiler, assembler/ISA and simulator packages, so a codegen or
+  interpreter change invalidates;
+* the *codec version* invalidates when the on-disk encoding changes.
+
+A stale key simply never matches — old files sit inert until
+``repro cache clear``.  Damaged files (truncation, bit rot, version
+skew) fail closed: :meth:`TraceCache.load` returns ``None`` and deletes
+the file, and the caller re-simulates.  Writes go through a temp file
+and ``os.replace`` so concurrent processes never observe a partial
+entry.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+
+from repro.sim import tracefile
+
+#: Environment variable supplying a default cache directory to the CLI.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Packages whose sources determine trace content (compile + simulate).
+_TOOLCHAIN_PACKAGES = ("repro.minic", "repro.asm", "repro.isa", "repro.sim")
+
+_toolchain_fingerprint = None
+
+
+def default_cache_dir():
+    """The ``REPRO_CACHE_DIR`` environment default (None when unset/empty)."""
+    return os.environ.get(ENV_CACHE_DIR) or None
+
+
+def toolchain_fingerprint():
+    """Hex digest over every toolchain source file (computed once).
+
+    Hashes the relative path and contents of each ``.py`` file under the
+    compiler, assembler/ISA and simulator packages — the code whose
+    behaviour decides what a trace contains.
+    """
+    global _toolchain_fingerprint
+    if _toolchain_fingerprint is None:
+        digest = hashlib.sha256()
+        for package_name in _TOOLCHAIN_PACKAGES:
+            package = __import__(package_name, fromlist=["__file__"])
+            root = os.path.dirname(package.__file__)
+            for dirpath, dirnames, filenames in os.walk(root):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if not filename.endswith(".py"):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    relative = os.path.relpath(path, root)
+                    digest.update(("%s:%s\n" % (package_name, relative)).encode())
+                    with open(path, "rb") as handle:
+                        digest.update(handle.read())
+        _toolchain_fingerprint = digest.hexdigest()
+    return _toolchain_fingerprint
+
+
+def source_hash(workload, scale=1):
+    """Hex digest of the workload's generated MiniC source at ``scale``."""
+    return hashlib.sha256(workload.source(scale).encode("utf-8")).hexdigest()
+
+
+class TraceCache:
+    """Directory of significance-compressed trace files, safely keyed.
+
+    ``load``/``store`` are the whole protocol: ``load`` returns the
+    decoded records or ``None`` (missing, stale or damaged entry) and
+    ``store`` writes one atomically.  ``info``/``clear`` back the
+    ``repro cache`` CLI subcommand.
+    """
+
+    def __init__(self, root):
+        # The directory is only created on first store(): read paths
+        # (info, clear, load) must not leave empty directories behind
+        # when pointed at a mistyped location.
+        self.root = str(root)
+        #: Process-local counters, keyed like TraceStore: (name, scale).
+        self.hits = {}
+        self.misses = {}
+        self.stores = {}
+
+    # ---------------------------------------------------------------- keys
+
+    def entry_key(self, workload, scale=1):
+        """Digest identifying one trace: workload + source + toolchain + codec."""
+        blob = json.dumps(
+            [
+                workload.name,
+                scale,
+                source_hash(workload, scale),
+                toolchain_fingerprint(),
+                tracefile.CODEC_VERSION,
+            ]
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def path_for(self, workload, scale=1):
+        """Cache file path for a ``(workload, scale)`` trace."""
+        return os.path.join(
+            self.root,
+            "%s@%d-%s.trace"
+            % (workload.name, scale, self.entry_key(workload, scale)[:16]),
+        )
+
+    # ------------------------------------------------------------- protocol
+
+    def load(self, workload, scale=1):
+        """Decoded records for the workload's trace, or ``None`` on a miss.
+
+        A damaged or version-skewed file counts as a miss: it is deleted
+        (best effort) so the re-simulated trace can replace it.
+        """
+        key = (workload.name, scale)
+        path = self.path_for(workload, scale)
+        try:
+            records, _meta = tracefile.load_trace(path)
+        except FileNotFoundError:
+            self.misses[key] = self.misses.get(key, 0) + 1
+            return None
+        except (tracefile.TraceCodecError, OSError, ValueError):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses[key] = self.misses.get(key, 0) + 1
+            return None
+        self.hits[key] = self.hits.get(key, 0) + 1
+        return records
+
+    def store(self, workload, scale, records):
+        """Atomically write one trace entry; returns its file path."""
+        key = (workload.name, scale)
+        path = self.path_for(workload, scale)
+        meta = {
+            "workload": workload.name,
+            "scale": scale,
+            "source_hash": source_hash(workload, scale),
+            "toolchain": toolchain_fingerprint(),
+        }
+        os.makedirs(self.root, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(
+            prefix=".%s@%d-" % (workload.name, scale), dir=self.root
+        )
+        os.close(fd)
+        try:
+            tracefile.dump_trace(temp_path, records, meta=meta)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise
+        self.stores[key] = self.stores.get(key, 0) + 1
+        return path
+
+    # ------------------------------------------------------------ inspection
+
+    def entries(self):
+        """Sorted file names of every (readable) cache entry."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(name for name in names if name.endswith(".trace"))
+
+    def info(self):
+        """Aggregate cache statistics for ``repro cache info``.
+
+        Returns a dict with entry/record counts, encoded vs naive
+        fixed-width byte totals and their ratio (< 1.0 means the
+        significance compression is winning), plus the number of
+        unreadable files encountered while scanning.
+        """
+        entries = 0
+        records = 0
+        encoded_bytes = 0
+        naive_bytes = 0
+        unreadable = 0
+        for name in self.entries():
+            path = os.path.join(self.root, name)
+            try:
+                meta = tracefile.read_meta(path)
+            except (tracefile.TraceCodecError, OSError):
+                unreadable += 1
+                continue
+            entries += 1
+            records += int(meta.get("records", 0))
+            encoded_bytes += int(meta.get("payload_bytes", 0))
+            naive_bytes += int(meta.get("naive_bytes", 0))
+        return {
+            "dir": self.root,
+            "entries": entries,
+            "records": records,
+            "encoded_bytes": encoded_bytes,
+            "naive_bytes": naive_bytes,
+            "ratio": (encoded_bytes / naive_bytes) if naive_bytes else 0.0,
+            "unreadable": unreadable,
+            "codec_version": tracefile.CODEC_VERSION,
+        }
+
+    def clear(self):
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        for name in self.entries():
+            try:
+                os.remove(os.path.join(self.root, name))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self):
+        return "TraceCache(%r)" % self.root

@@ -38,27 +38,48 @@ class Workload:
             self._programs[scale] = compile_program(self.source(scale))
         return self._programs[scale]
 
-    def run(self, scale=1, trace=True, max_instructions=20_000_000):
+    def run(self, scale=1, trace=True, max_instructions=20_000_000, trace_cache=None):
         """Execute; returns (trace_records, interpreter).
 
         The cache is limit-aware: a completed run is reused only when
         its executed instruction count fits the requested
         ``max_instructions``, so a stricter limit re-executes (and trips
         the limit) instead of silently returning a longer cached run.
+
+        With a persistent ``trace_cache`` (a
+        :class:`~repro.study.trace_cache.TraceCache`) and ``trace=True``,
+        the lookup falls through memory → disk → simulate: a disk hit
+        returns ``(records, None)`` — no interpreter exists because
+        nothing was simulated — and a simulated trace is written back so
+        later processes skip the simulation.  When tracing, the executed
+        instruction count equals ``len(records)``, which keeps the
+        disk path limit-aware too.
         """
         key = (scale, trace)
         cached = self._runs.get(key)
-        if cached is not None and cached[1].instructions_executed <= max_instructions:
-            return cached
+        if cached is not None:
+            executed = (
+                len(cached[0]) if cached[1] is None
+                else cached[1].instructions_executed
+            )
+            if executed <= max_instructions:
+                return cached
+        if trace and trace_cache is not None:
+            records = trace_cache.load(self, scale=scale)
+            if records is not None and len(records) <= max_instructions:
+                self._runs[key] = (records, None)
+                return self._runs[key]
         memory, machine = load_program(self.program(scale))
         interpreter = Interpreter(memory, machine, trace=trace)
         interpreter.run(max_instructions)
         self._runs[key] = (interpreter.trace_records, interpreter)
+        if trace and trace_cache is not None:
+            trace_cache.store(self, scale, interpreter.trace_records)
         return self._runs[key]
 
-    def trace(self, scale=1):
-        """Trace records only."""
-        return self.run(scale=scale)[0]
+    def trace(self, scale=1, trace_cache=None):
+        """Trace records only (optionally via a persistent trace cache)."""
+        return self.run(scale=scale, trace_cache=trace_cache)[0]
 
     def output(self, scale=1):
         """Program output text."""

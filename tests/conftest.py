@@ -1,0 +1,16 @@
+"""Shared test fixtures.
+
+The tests assert exact trace-materialization counters, so an ambient
+``REPRO_CACHE_DIR`` from the developer's shell (which would satisfy
+lookups from a warm persistent cache) must not leak in; tests opt into
+the persistent cache explicitly via ``--cache-dir`` or ``monkeypatch``.
+"""
+
+import pytest
+
+from repro.study.trace_cache import ENV_CACHE_DIR
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_trace_cache(monkeypatch):
+    monkeypatch.delenv(ENV_CACHE_DIR, raising=False)

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.compress import CompressedWord, compress, compression_ratio
+from repro.core.compress import compress, compression_ratio
 from repro.core.extension import BYTE_SCHEME, HALFWORD_SCHEME, TWO_BIT_SCHEME
 from repro.core.patterns import ALL_PATTERNS, PatternCounter, pattern_of
 

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.isa.encoding import DecodeError, NOP, decode, encode, i_type, j_type, r_type
 from repro.isa.disasm import disassemble
-from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Funct, InstrClass, Opcode, classify
 from repro.isa.registers import REGISTER_NAMES, register_name, register_number
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.asm import assemble
-from repro.pipeline import ALL_ORGANIZATIONS, InOrderPipeline, get_organization, simulate
+from repro.pipeline import ALL_ORGANIZATIONS, get_organization, simulate
 from repro.pipeline.organizations import BaselineOrg, WORD_SCHEME
 from repro.sim import Interpreter, load_program
 from repro.sim.hierarchy import HierarchyConfig

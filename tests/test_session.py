@@ -171,6 +171,25 @@ class TestExperimentSession:
         )
 
 
+class TestParallelFallback:
+    def test_no_fork_platform_warns_and_runs_serially(self, capsys, monkeypatch):
+        # On platforms without the fork start method, --jobs N silently
+        # degrading to serial would mislead users; a stderr warning
+        # must accompany the (still correct) serial results.
+        import multiprocessing
+
+        def no_fork(method):
+            raise ValueError("cannot find context for %r" % method)
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_fork)
+        session = ExperimentSession(workloads=FAST)
+        results = session.run(["table1", "table2"], jobs=4)
+        assert [result.id for result in results] == ["table1", "table2"]
+        err = capsys.readouterr().err
+        assert "fork start method unavailable" in err
+        assert "--jobs 4" in err
+
+
 class TestStoreThreading:
     def test_run_experiment_populates_store(self):
         store = TraceStore()

@@ -1,9 +1,8 @@
 """Tests for the per-instruction significance summary (pipeline.siginfo)."""
 
-import pytest
 
 from repro.asm import assemble
-from repro.core.extension import BYTE_SCHEME, HALFWORD_SCHEME
+from repro.core.extension import HALFWORD_SCHEME
 from repro.pipeline.siginfo import alu_activity, compute_siginfo
 from repro.sim import Interpreter, load_program
 

@@ -3,9 +3,11 @@
 Not a paper artifact — tracks the cost structure the engine exists to
 improve: cold-cache runs (trace materialization dominates) vs warm-cache
 runs (analysis only), disk-warm runs (traces decoded from the
-significance-compressed persistent cache instead of simulated), and
-serial vs parallel scheduling of independent experiments over a shared,
-pre-materialized TraceStore.
+significance-compressed persistent cache instead of simulated),
+analysis-warm runs (pipeline/activity results served from the
+persistent result store instead of recomputed), and serial vs parallel
+scheduling of independent experiments over a shared, pre-materialized
+TraceStore.
 """
 
 from repro.study.session import ExperimentSession, TraceStore
@@ -65,6 +67,27 @@ def test_runner_disk_warm(benchmark, tmp_path):
 
     results = benchmark.pedantic(run_disk_warm, rounds=3, iterations=1)
     assert len(results) == len(RUNNER_IDS)
+
+
+def test_runner_analysis_warm(benchmark, tmp_path):
+    # Populate the shared cache directory (traces + results) once, then
+    # measure sessions whose CPI study performs zero simulations: every
+    # PipelineResult comes from the persistent result store.
+    ExperimentSession(workloads=_workloads(), cache_dir=str(tmp_path)).run(
+        ["fig4"]
+    )
+
+    def run_analysis_warm():
+        workloads = _workloads()
+        for workload in workloads:
+            workload.clear_cache()
+        session = ExperimentSession(workloads=workloads, cache_dir=str(tmp_path))
+        results = session.run(["fig4"])
+        assert session.results.sim_misses == {}  # zero simulations
+        return results
+
+    results = benchmark.pedantic(run_analysis_warm, rounds=3, iterations=1)
+    assert len(results) == 1
 
 
 def test_runner_serial(benchmark):

@@ -9,12 +9,14 @@ Examples::
     repro all                       # every table and figure in sequence
     repro all --jobs 4              # same output, experiments in parallel
     repro all --format json         # machine-readable report
-    repro all --cache-dir .cache    # persist traces across processes
-    repro cache info                # trace-cache size and compression
-    repro cache clear               # drop every cached trace
+    repro all --cache-dir .cache    # persist traces + results across processes
+    repro cache info                # trace-cache and result-store statistics
+    repro cache clear               # drop every cached trace and result
+    repro cache clear --results     # drop cached results, keep traces
 
-The persistent trace cache directory defaults to the ``REPRO_CACHE_DIR``
-environment variable; ``--cache-dir`` overrides it.
+The persistent cache directory (shared by the trace cache and the
+result store) defaults to the ``REPRO_CACHE_DIR`` environment variable;
+``--cache-dir`` overrides it.
 """
 
 import argparse
@@ -22,6 +24,7 @@ import json
 import sys
 
 from repro.study.experiments import EXPERIMENTS
+from repro.study.result_store import ResultStore
 from repro.study.session import ExperimentSession
 from repro.study.trace_cache import ENV_CACHE_DIR, TraceCache, default_cache_dir
 from repro.workloads import all_workloads
@@ -108,6 +111,16 @@ def build_cache_parser():
         default="text",
         help="report format for 'info' (default text)",
     )
+    parser.add_argument(
+        "--traces",
+        action="store_true",
+        help="for 'clear': delete cached traces (default: traces and results)",
+    )
+    parser.add_argument(
+        "--results",
+        action="store_true",
+        help="for 'clear': delete cached results (default: traces and results)",
+    )
     _add_cache_dir_option(parser)
     return parser
 
@@ -139,11 +152,30 @@ def _cache_main(argv):
         )
         return 2
     cache = TraceCache(cache_dir)
+    results = ResultStore(cache_dir)
     if args.action == "clear":
-        print("removed %d cache entries from %s" % (cache.clear(), cache.root))
+        # No selector means both; either flag narrows the clear to it.
+        clear_traces = args.traces or not args.results
+        clear_results = args.results or not args.traces
+        removed_traces = cache.clear() if clear_traces else 0
+        removed_results = results.clear() if clear_results else 0
+        print(
+            "removed %d cache entries (%d traces, %d results) from %s"
+            % (
+                removed_traces + removed_results,
+                removed_traces,
+                removed_results,
+                cache.root,
+            )
+        )
         return 0
     info = cache.info()
+    result_info = results.info()
     if args.format == "json":
+        # Trace fields stay top-level (the stable, scripted-against
+        # shape); the result store reports under its own key.
+        info = dict(info)
+        info["results"] = result_info
         print(json.dumps(info, indent=2, sort_keys=True))
         return 0
     print("trace cache: %s (codec v%d)" % (info["dir"], info["codec_version"]))
@@ -156,8 +188,25 @@ def _cache_main(argv):
             "compression ratio: %.3f (%.1f%% smaller than a fixed-width dump)"
             % (info["ratio"], 100.0 * (1.0 - info["ratio"]))
         )
-    if info["unreadable"]:
-        print("unreadable entries: %d" % info["unreadable"], file=sys.stderr)
+    print(
+        "result store: %d entries, %d bytes (store v%d)"
+        % (
+            result_info["entries"],
+            result_info["bytes"],
+            result_info["store_version"],
+        )
+    )
+    if result_info["kinds"]:
+        print(
+            "result kinds: %s"
+            % ", ".join(
+                "%s=%d" % (kind, count)
+                for kind, count in sorted(result_info["kinds"].items())
+            )
+        )
+    unreadable = info["unreadable"] + result_info["unreadable"]
+    if unreadable:
+        print("unreadable entries: %d" % unreadable, file=sys.stderr)
     return 0
 
 

@@ -144,7 +144,19 @@ class FetchStatistics:
     headline: 3.17 bytes, 3.29 including the extension bit).
     """
 
+    #: Bumped whenever to_dict changes shape or meaning.
+    SCHEMA_VERSION = 1
+
+    #: The integer tallies a (de)serialized statistics object carries.
+    _COUNT_FIELDS = (
+        "total", "bytes_fetched", "r_format_with_funct", "r_format_short",
+        "i_format", "j_format", "with_immediate", "immediate_fits_byte",
+    )
+
     def __init__(self, compressor=None):
+        # Stats built over a custom compressor cannot be keyed/rebuilt
+        # declaratively; the unit scheduler checks this flag.
+        self.standard_compressor = compressor is None
         self.compressor = compressor or InstructionCompressor()
         self.total = 0
         self.bytes_fetched = 0
@@ -191,6 +203,55 @@ class FetchStatistics:
         for funct, count in other.funct_counts.items():
             self.funct_counts[funct] = self.funct_counts.get(funct, 0) + count
 
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self):
+        """Versioned plain-data form for the persistent result store.
+
+        Only statistics over the default compressor serialize: the dict
+        cannot express a custom recode table (ValueError otherwise).
+        """
+        if not self.standard_compressor:
+            raise ValueError("cannot serialize stats over a custom compressor")
+        payload = {"version": self.SCHEMA_VERSION}
+        for field in self._COUNT_FIELDS:
+            payload[field] = getattr(self, field)
+        # JSON forces string keys; from_dict undoes this.
+        payload["funct_counts"] = {
+            str(funct): count for funct, count in self.funct_counts.items()
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild statistics from :meth:`to_dict` (ValueError on skew)."""
+        if payload.get("version") != cls.SCHEMA_VERSION:
+            raise ValueError(
+                "fetch statistics schema v%r, expected v%d"
+                % (payload.get("version"), cls.SCHEMA_VERSION)
+            )
+        stats = cls()
+        try:
+            for field in cls._COUNT_FIELDS:
+                setattr(stats, field, payload[field])
+            stats.funct_counts = {
+                int(funct): count
+                for funct, count in payload["funct_counts"].items()
+            }
+        except KeyError as error:
+            raise ValueError("fetch statistics payload missing %s" % error)
+        return stats
+
+    def __eq__(self, other):
+        if not isinstance(other, FetchStatistics):
+            return NotImplemented
+        return self.funct_counts == other.funct_counts and all(
+            getattr(self, field) == getattr(other, field)
+            for field in self._COUNT_FIELDS
+        )
+
+    __hash__ = object.__hash__
+
     # ------------------------------------------------------------- metrics
 
     def average_bytes_per_instruction(self):
@@ -233,8 +294,15 @@ class FetchStatistics:
         return self.immediate_fits_byte / self.with_immediate
 
     def funct_table(self):
-        """Rows (funct, percent, cumulative) like the paper's Table 3."""
-        ordered = sorted(self.funct_counts.items(), key=lambda item: -item[1])
+        """Rows (funct, percent, cumulative) like the paper's Table 3.
+
+        Ties break by funct value (as :func:`build_recode_table` does),
+        never by dict insertion order: a statistics object rebuilt from
+        the persistent result store must render the identical table.
+        """
+        ordered = sorted(
+            self.funct_counts.items(), key=lambda item: (-item[1], int(item[0]))
+        )
         total = sum(self.funct_counts.values())
         rows = []
         cumulative = 0.0

@@ -41,6 +41,10 @@ STAGES = (
 )
 
 
+#: Bumped whenever ActivityReport.to_dict changes shape or meaning.
+REPORT_SCHEMA_VERSION = 1
+
+
 class ActivityReport:
     """Baseline vs compressed bit counts per stage, with savings."""
 
@@ -49,6 +53,46 @@ class ActivityReport:
         self.baseline = dict(baseline)
         self.compressed = dict(compressed)
         self.instructions = instructions
+
+    def to_dict(self):
+        """Versioned plain-data form for the persistent result store."""
+        return {
+            "version": REPORT_SCHEMA_VERSION,
+            "name": self.name,
+            "baseline": dict(self.baseline),
+            "compressed": dict(self.compressed),
+            "instructions": self.instructions,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a report from :meth:`to_dict` output (ValueError on skew)."""
+        if payload.get("version") != REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                "activity report schema v%r, expected v%d"
+                % (payload.get("version"), REPORT_SCHEMA_VERSION)
+            )
+        try:
+            return cls(
+                payload["name"],
+                payload["baseline"],
+                payload["compressed"],
+                payload["instructions"],
+            )
+        except KeyError as error:
+            raise ValueError("activity report payload missing %s" % error)
+
+    def __eq__(self, other):
+        if not isinstance(other, ActivityReport):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.baseline == other.baseline
+            and self.compressed == other.compressed
+            and self.instructions == other.instructions
+        )
+
+    __hash__ = object.__hash__
 
     def savings(self, stage):
         """Fractional activity reduction for ``stage`` (0..1)."""
@@ -91,6 +135,9 @@ class ActivityModel:
                  pc_block_bits=None, latch_boundaries=4,
                  ext_bits_in_memory=False):
         self.scheme = scheme
+        # A custom compressor or hierarchy makes the model's output
+        # unrepresentable by the declarative config key below.
+        self._standard_config = compressor is None and hierarchy_config is None
         self.compressor = compressor or InstructionCompressor()
         self.hierarchy_config = hierarchy_config
         # The PC incrementer uses the same block granularity as the data
@@ -103,6 +150,23 @@ class ActivityModel:
         # compressed (significant bytes only) instead of paying the
         # full-width transfer on the fill path.
         self.ext_bits_in_memory = ext_bits_in_memory
+
+    def config_key(self):
+        """Hashable, JSON-able description of this model's configuration.
+
+        The unit scheduler memoizes :meth:`process` outputs under this
+        key; it must therefore cover everything that shapes a report.
+        Returns ``None`` for models the key cannot express (custom
+        compressor or hierarchy), which opts them out of memoization.
+        """
+        if not self._standard_config or self.scheme.name is None:
+            return None
+        return (
+            self.scheme.name,
+            self.pc_block_bits,
+            self.latch_boundaries,
+            bool(self.ext_bits_in_memory),
+        )
 
     def process(self, records, name="trace"):
         """Count baseline and compressed activity over ``records``."""
@@ -231,14 +295,24 @@ class ActivityModel:
 
         ``store`` is an optional trace cache with the
         :class:`repro.study.session.TraceStore` interface; without one
-        each workload's own per-scale cache is used.
+        each workload's own per-scale cache is used.  A store carrying a
+        result broker (``store.results``, set by
+        :class:`~repro.study.session.ExperimentSession`) additionally
+        memoizes each per-workload report — in memory within a session
+        and, when a persistent result store is configured, on disk
+        across processes.
         """
+        broker = getattr(store, "results", None)
         reports = []
         for workload in workloads:
-            if store is None:
-                records = workload.trace(scale=scale)
+            if broker is not None:
+                report = broker.activity_report(self, workload, scale=scale)
             else:
-                records = store.trace(workload, scale=scale)
-            reports.append(self.process(records, name=workload.name))
+                if store is None:
+                    records = workload.trace(scale=scale)
+                else:
+                    records = store.trace(workload, scale=scale)
+                report = self.process(records, name=workload.name)
+            reports.append(report)
         average = _average_report("AVG", reports)
         return reports, average

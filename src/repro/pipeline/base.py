@@ -28,11 +28,16 @@ from repro.pipeline.siginfo import compute_siginfo
 from repro.sim.hierarchy import MemoryHierarchy
 
 
+#: Bumped whenever the meaning or shape of PipelineResult.to_dict
+#: changes; from_dict refuses any other version.
+RESULT_SCHEMA_VERSION = 1
+
+
 class PipelineResult:
     """Outcome of one timing simulation."""
 
     def __init__(self, name, instructions, cycles, stalls, hierarchy_stats,
-                 stage_excess=None):
+                 stage_excess=None, predictor_accuracy=None):
         self.name = name
         self.instructions = instructions
         self.cycles = cycles
@@ -42,6 +47,9 @@ class PipelineResult:
         #: stage — the bandwidth-demand measure behind the paper's
         #: Section 5 bottleneck analysis.
         self.stage_excess = stage_excess or {}
+        #: Direction-prediction accuracy when the run had a predictor
+        #: attached (the Section 3 future-work study), else None.
+        self.predictor_accuracy = predictor_accuracy
 
     @property
     def cpi(self):
@@ -69,6 +77,47 @@ class PipelineResult:
             return ("none", 0.0)
         stage = max(self.stage_excess, key=self.stage_excess.get)
         return (stage, self.stage_excess[stage] / total)
+
+    # ------------------------------------------------------- serialization
+
+    _FIELDS = ("name", "instructions", "cycles", "stalls", "hierarchy_stats",
+               "stage_excess", "predictor_accuracy")
+
+    def to_dict(self):
+        """Versioned plain-data form for the persistent result store."""
+        payload = {"version": RESULT_SCHEMA_VERSION}
+        for field in self._FIELDS:
+            payload[field] = getattr(self, field)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises ``ValueError`` on a version skew or missing field so a
+        persistent store can fail closed and recompute.
+        """
+        if payload.get("version") != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                "pipeline result schema v%r, expected v%d"
+                % (payload.get("version"), RESULT_SCHEMA_VERSION)
+            )
+        try:
+            fields = {field: payload[field] for field in cls._FIELDS}
+        except KeyError as error:
+            raise ValueError("pipeline result payload missing %s" % error)
+        return cls(**fields)
+
+    def __eq__(self, other):
+        if not isinstance(other, PipelineResult):
+            return NotImplemented
+        return all(
+            getattr(self, field) == getattr(other, field)
+            for field in self._FIELDS
+        )
+
+    # Field-wise equality must not cost results their hashability.
+    __hash__ = object.__hash__
 
     def __repr__(self):
         return "PipelineResult(%s: CPI=%.3f over %d instrs)" % (
@@ -241,4 +290,7 @@ class InOrderPipeline:
             stalls,
             self.hierarchy.stats(),
             stage_excess=excess,
+            predictor_accuracy=(
+                self.predictor.accuracy if self.predictor is not None else None
+            ),
         )

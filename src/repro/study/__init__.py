@@ -30,14 +30,26 @@ from repro.study.experiments import (
     canonical_experiment_ids,
     run_experiment,
 )
+from repro.study.result_store import ResultStore
+from repro.study.scheduler import (
+    ActivityUnit,
+    FetchUnit,
+    ResultBroker,
+    SimUnit,
+)
 from repro.study.session import ExperimentResult, ExperimentSession, TraceStore
 from repro.study.trace_cache import TraceCache
 
 __all__ = [
     "EXPERIMENTS",
+    "ActivityUnit",
     "ExperimentResult",
     "ExperimentSession",
     "ExperimentSpec",
+    "FetchUnit",
+    "ResultBroker",
+    "ResultStore",
+    "SimUnit",
     "TraceCache",
     "TraceStore",
     "canonical_experiment_ids",

@@ -6,9 +6,8 @@ becomes a table of CPI values plus the suite average overhead, side by
 side with the paper's quoted average.
 """
 
-from repro.pipeline import simulate
 from repro.study.report import format_bar_chart, format_table, percent
-from repro.study.session import resolve_trace
+from repro.study.scheduler import resolve_pipeline_result
 from repro.workloads import mediabench_suite
 
 #: Figure id -> (organizations shown, paper's average CPI overhead).
@@ -38,10 +37,13 @@ def collect_cpis(organizations, workloads=None, scale=1, store=None):
     for organization in organizations:
         table[organization] = []
     for workload in workloads:
-        records = resolve_trace(workload, scale, store)
-        table["baseline32"].append(simulate("baseline32", records).cpi)
+        table["baseline32"].append(
+            resolve_pipeline_result(workload, scale, "baseline32", store).cpi
+        )
         for organization in organizations:
-            table[organization].append(simulate(organization, records).cpi)
+            table[organization].append(
+                resolve_pipeline_result(workload, scale, organization, store).cpi
+            )
     return names, table
 
 
@@ -96,8 +98,7 @@ def run_bottleneck(workloads=None, scale=1, store=None):
     totals = {}
     instructions = 0
     for workload in workloads:
-        records = resolve_trace(workload, scale, store)
-        result = simulate("byte_serial", records)
+        result = resolve_pipeline_result(workload, scale, "byte_serial", store)
         for stage, value in result.stage_excess.items():
             totals[stage] = totals.get(stage, 0) + value
         instructions += result.instructions

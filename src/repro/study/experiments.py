@@ -1,18 +1,48 @@
 """Experiment registry: declarative specs, one per paper table/figure.
 
 Each experiment is an :class:`ExperimentSpec` — id, description, trace
-requirements and a runner ``f(workloads, scale, store)``.  The specs are
-what :class:`repro.study.session.ExperimentSession` schedules: the
-session materializes the required traces once in a shared
-:class:`~repro.study.session.TraceStore` and fans the runners out,
-serially or across worker processes.
+and *unit* requirements, and a runner ``f(workloads, scale, store)``.
+The specs are what :class:`repro.study.session.ExperimentSession`
+schedules: the session materializes the required traces once in a
+shared :class:`~repro.study.session.TraceStore`, executes the deduped
+analysis units (pipeline simulations, activity passes, fetch walks)
+through the :class:`~repro.study.scheduler.ResultBroker` — at most once
+per (workload, organization) no matter how many experiments share them
+— and fans the runners out, serially or across worker processes.
 """
 
 from repro.core.extension import BYTE_SCHEME, HALFWORD_SCHEME, TWO_BIT_SCHEME
 from repro.study import activity_study, cpi_study, funct_study, patterns_study, pc_study
 from repro.study.report import format_table, percent
+from repro.study.scheduler import (
+    BIMODAL_VARIANT,
+    ActivityUnit,
+    FetchUnit,
+    SimUnit,
+    activity_config,
+    resolve_activity_report,
+    resolve_pipeline_result,
+)
 from repro.study.session import resolve_trace
 from repro.workloads import mediabench_suite
+
+#: Organizations the energy estimate compares (baseline32 implied).
+ENERGY_ORGANIZATIONS = (
+    "byte_serial",
+    "halfword_serial",
+    "byte_semi_parallel",
+    "parallel_compressed",
+    "parallel_skewed",
+    "parallel_skewed_bypass",
+)
+
+#: Organizations of the Section 3 branch-prediction future-work study.
+PREDICTOR_ORGANIZATIONS = ("baseline32", "byte_serial", "parallel_skewed_bypass")
+
+#: Standard activity-model configuration keys the studies request.
+BYTE_ACTIVITY = activity_config(BYTE_SCHEME)
+HALFWORD_ACTIVITY = activity_config(HALFWORD_SCHEME)
+BYTE_ACTIVITY_MEM = activity_config(BYTE_SCHEME, ext_bits_in_memory=True)
 
 
 class ExperimentSpec:
@@ -21,20 +51,30 @@ class ExperimentSpec:
     ``runner(workloads=None, scale=1, store=None)`` returns the report
     text.  ``alias_of`` marks alternate names for an existing experiment
     so schedulers can skip them; ``required_traces`` tells the session
-    which ``(workload, scale)`` traces to materialize up front.
+    which ``(workload, scale)`` traces to materialize up front;
+    ``units`` (a builder ``f(workloads, scale) -> [unit, ...]``) names
+    the fine-grained simulation/analysis units the runner will request,
+    so the session can dedupe and shard them before any runner starts.
     """
 
-    __slots__ = ("id", "description", "runner", "alias_of")
+    __slots__ = ("id", "description", "runner", "alias_of", "units")
 
-    def __init__(self, id, description, runner, alias_of=None):
+    def __init__(self, id, description, runner, alias_of=None, units=None):
         self.id = id
         self.description = description
         self.runner = runner
         self.alias_of = alias_of
+        self.units = units
 
     def required_traces(self, workloads=None, scale=1):
         """The ``(workload, scale)`` pairs this experiment walks."""
         return [(workload, scale) for workload in workloads or mediabench_suite()]
+
+    def required_units(self, workloads=None, scale=1):
+        """The analysis units this experiment's runner will request."""
+        if self.units is None:
+            return []
+        return list(self.units(workloads or mediabench_suite(), scale))
 
     def run(self, workloads=None, scale=1, store=None):
         """Execute the runner; returns the report text."""
@@ -46,6 +86,57 @@ class ExperimentSpec:
 
     def __repr__(self):
         return "ExperimentSpec(%s)" % self.id
+
+
+# ------------------------------------------------------------ unit builders
+
+
+def _sim_units(organizations, variants=(None,)):
+    """Builder: one SimUnit per (workload, organization, variant)."""
+    organizations = tuple(organizations)
+
+    def build(workloads, scale):
+        return [
+            SimUnit(workload.name, scale, organization, variant)
+            for workload in workloads
+            for organization in organizations
+            for variant in variants
+        ]
+
+    return build
+
+
+def _figure_units(figure):
+    """Builder for one CPI figure: its organizations plus the baseline."""
+    return _sim_units(("baseline32",) + cpi_study.FIGURES[figure][0])
+
+
+def _activity_units(*configs):
+    """Builder: one ActivityUnit per (workload, model configuration)."""
+
+    def build(workloads, scale):
+        return [
+            ActivityUnit(workload.name, scale, config)
+            for workload in workloads
+            for config in configs
+        ]
+
+    return build
+
+
+def _fetch_units(workloads, scale):
+    """Builder: one FetchUnit per workload."""
+    return [FetchUnit(workload.name, scale) for workload in workloads]
+
+
+def _energy_units(workloads, scale):
+    """The energy estimate: every organization's CPI + byte activity."""
+    units = _sim_units(("baseline32",) + ENERGY_ORGANIZATIONS)(workloads, scale)
+    units += _activity_units(BYTE_ACTIVITY)(workloads, scale)
+    return units
+
+
+# ----------------------------------------------------------------- runners
 
 
 def _run_table1(workloads=None, scale=1, store=None):
@@ -153,33 +244,39 @@ def _run_energy(workloads=None, scale=1, store=None):
     proportional to capacitance-weighted switching activity) so the
     organizations can be compared on energy and energy-delay product.
     """
-    from repro.pipeline import ActivityModel, simulate
+    from repro.pipeline import ActivityModel
     from repro.pipeline.energy import EnergyModel
     from repro.pipeline.organizations import get_organization
 
     workloads = workloads or mediabench_suite()
     activity_model = ActivityModel()
     energy_model = EnergyModel()
-    organizations = (
-        "byte_serial",
-        "halfword_serial",
-        "byte_semi_parallel",
-        "parallel_compressed",
-        "parallel_skewed",
-        "parallel_skewed_bypass",
-    )
+    # One activity report and one baseline simulation per workload,
+    # shared across every organization row (and, through the broker,
+    # with table5 and the CPI figures).
+    reports = {
+        workload.name: resolve_activity_report(
+            activity_model, workload, scale, store
+        )
+        for workload in workloads
+    }
+    baselines = {
+        workload.name: resolve_pipeline_result(
+            workload, scale, "baseline32", store
+        )
+        for workload in workloads
+    }
     rows = []
-    for org_name in organizations:
+    for org_name in ENERGY_ORGANIZATIONS:
         organization = get_organization(org_name)
         latch_scale = organization.latch_boundaries / 4.0
         savings_sum = 0.0
         edp_sum = 0.0
         cpi_overhead_sum = 0.0
         for workload in workloads:
-            records = resolve_trace(workload, scale, store)
-            report = activity_model.process(records, name=workload.name)
-            baseline_cpi = simulate("baseline32", records).cpi
-            result = simulate(org_name, records)
+            report = reports[workload.name]
+            baseline_cpi = baselines[workload.name].cpi
+            result = resolve_pipeline_result(workload, scale, org_name, store)
             estimate = energy_model.estimate(report, result, latch_scale=latch_scale)
             savings_sum += estimate.energy_savings
             edp_sum += estimate.energy_delay_product(baseline_cpi)
@@ -231,25 +328,21 @@ def _run_memory_extension_ablation(workloads=None, scale=1, store=None):
 
 def _run_branch_prediction_ablation(workloads=None, scale=1, store=None):
     """Future work (Section 3): CPI with a bimodal predictor attached."""
-    from repro.pipeline import InOrderPipeline, BimodalPredictor
-    from repro.pipeline.organizations import get_organization
-
     workloads = workloads or mediabench_suite()
-    organizations = ("baseline32", "byte_serial", "parallel_skewed_bypass")
     rows = []
-    for org_name in organizations:
+    for org_name in PREDICTOR_ORGANIZATIONS:
         stall_cpis = []
         predicted_cpis = []
         accuracy_total = 0.0
         for workload in workloads:
-            records = resolve_trace(workload, scale, store)
-            org = get_organization(org_name)
-            stall_cpis.append(InOrderPipeline(org).run(records).cpi)
-            predictor = BimodalPredictor()
-            predicted_cpis.append(
-                InOrderPipeline(org, predictor=predictor).run(records).cpi
+            stall_cpis.append(
+                resolve_pipeline_result(workload, scale, org_name, store).cpi
             )
-            accuracy_total += predictor.accuracy
+            predicted = resolve_pipeline_result(
+                workload, scale, org_name, store, variant=BIMODAL_VARIANT
+            )
+            predicted_cpis.append(predicted.cpi)
+            accuracy_total += predicted.predictor_accuracy
         stall_avg = sum(stall_cpis) / len(stall_cpis)
         predicted_avg = sum(predicted_cpis) / len(predicted_cpis)
         rows.append(
@@ -318,28 +411,42 @@ def _run_segmentation_ablation(workloads=None, scale=1, store=None):
     )
 
 
-#: (id, description, runner, alias_of) — the declarative source of truth.
+#: (id, description, runner, alias_of, units) — the declarative source
+#: of truth.  ``units`` names the fine-grained analysis units the runner
+#: requests; trace-walking studies (table1, table2, the value-level
+#: ablations) have none.
 _SPEC_TABLE = (
-    ("table1", "Table 1: significant-byte pattern frequencies", _run_table1, None),
-    ("table2", "Table 2: PC-update activity/latency vs block size", _run_table2, None),
-    ("table3", "Table 3 + Section 2.3: instruction statistics", _run_table3, None),
-    ("fetchstats", "alias of table3", _run_table3, "table3"),
-    ("table5", "Table 5: activity savings, byte granularity", _run_table5, None),
-    ("table6", "Table 6: activity savings, halfword granularity", _run_table6, None),
-    ("fig4", "Figure 4: CPI, byte/halfword serial", _run_figure("fig4"), None),
-    ("fig6", "Figure 6: CPI, byte semi-parallel", _run_figure("fig6"), None),
-    ("fig8", "Figure 8: CPI, byte-parallel skewed", _run_figure("fig8"), None),
+    ("table1", "Table 1: significant-byte pattern frequencies", _run_table1,
+     None, None),
+    ("table2", "Table 2: PC-update activity/latency vs block size", _run_table2,
+     None, None),
+    ("table3", "Table 3 + Section 2.3: instruction statistics", _run_table3,
+     None, _fetch_units),
+    ("fetchstats", "alias of table3", _run_table3, "table3", _fetch_units),
+    ("table5", "Table 5: activity savings, byte granularity", _run_table5,
+     None, _activity_units(BYTE_ACTIVITY)),
+    ("table6", "Table 6: activity savings, halfword granularity", _run_table6,
+     None, _activity_units(HALFWORD_ACTIVITY)),
+    ("fig4", "Figure 4: CPI, byte/halfword serial", _run_figure("fig4"),
+     None, _figure_units("fig4")),
+    ("fig6", "Figure 6: CPI, byte semi-parallel", _run_figure("fig6"),
+     None, _figure_units("fig6")),
+    ("fig8", "Figure 8: CPI, byte-parallel skewed", _run_figure("fig8"),
+     None, _figure_units("fig8")),
     (
         "fig10",
         "Figure 10: CPI, compressed and skewed+bypasses",
         _run_figure("fig10"),
         None,
+        _figure_units("fig10"),
     ),
-    ("bottleneck", "Section 5: byte-serial bottleneck analysis", _run_bottleneck, None),
+    ("bottleneck", "Section 5: byte-serial bottleneck analysis", _run_bottleneck,
+     None, _sim_units(("byte_serial",))),
     (
         "ablation-schemes",
         "Ablation: 2-bit vs 3-bit vs halfword schemes",
         _run_scheme_ablation,
+        None,
         None,
     ),
     (
@@ -347,17 +454,20 @@ _SPEC_TABLE = (
         "Ablation: byte vs halfword activity",
         _run_granularity_ablation,
         None,
+        _activity_units(BYTE_ACTIVITY, HALFWORD_ACTIVITY),
     ),
     (
         "future-branch-prediction",
         "Future work: branch prediction ablation (Section 3)",
         _run_branch_prediction_ablation,
         None,
+        _sim_units(PREDICTOR_ORGANIZATIONS, variants=(None, BIMODAL_VARIANT)),
     ),
     (
         "future-segmentation",
         "Future work: non-uniform significance segments (Section 2.1)",
         _run_segmentation_ablation,
+        None,
         None,
     ),
     (
@@ -365,19 +475,21 @@ _SPEC_TABLE = (
         "Energy estimate: weighted activity x delay (Section 7 follow-up)",
         _run_energy,
         None,
+        _energy_units,
     ),
     (
         "ablation-memory-extension",
         "Ablation: extension bits maintained in main memory (Section 1)",
         _run_memory_extension_ablation,
         None,
+        _activity_units(BYTE_ACTIVITY, BYTE_ACTIVITY_MEM),
     ),
 )
 
 #: Experiment id -> ExperimentSpec (aliases included).
 EXPERIMENTS = {
-    id: ExperimentSpec(id, description, runner, alias_of)
-    for id, description, runner, alias_of in _SPEC_TABLE
+    id: ExperimentSpec(id, description, runner, alias_of, units)
+    for id, description, runner, alias_of, units in _SPEC_TABLE
 }
 
 

@@ -10,6 +10,7 @@ instructions carrying immediates with 80% of those fitting 8 bits, and
 
 from repro.core.icompress import FetchStatistics, build_recode_table
 from repro.study.report import format_comparison, format_table
+from repro.study.scheduler import resolve_fetch_statistics
 from repro.study.session import resolve_trace
 from repro.workloads import mediabench_suite
 
@@ -27,7 +28,18 @@ PAPER_FETCH_STATS = {
 
 
 def collect_fetch_statistics(workloads=None, scale=1, compressor=None, store=None):
-    """Accumulate FetchStatistics over the suite's dynamic instructions."""
+    """Accumulate FetchStatistics over the suite's dynamic instructions.
+
+    With the default compressor this is a declarative per-workload unit
+    request: each workload's statistics come from the session's result
+    broker (memoized, shardable, persistable) and merge into the suite
+    total.  A custom compressor walks the traces directly.
+    """
+    if compressor is None:
+        stats = FetchStatistics()
+        for workload in workloads or mediabench_suite():
+            stats.merge(resolve_fetch_statistics(workload, scale, store))
+        return stats
     stats = FetchStatistics(compressor=compressor)
     for workload in workloads or mediabench_suite():
         for record in resolve_trace(workload, scale, store):

@@ -1,0 +1,386 @@
+"""Unit-sharded analysis scheduler.
+
+The experiments decompose into fine-grained *units* — one pipeline
+simulation, activity-model pass or fetch-statistics walk over one
+``(workload, scale)`` trace.  Units are the scheduler's currency:
+
+* :class:`SimUnit` — ``simulate(organization, trace)``, optionally with
+  a bimodal predictor attached (the Section 3 future-work variant);
+* :class:`ActivityUnit` — an :class:`~repro.pipeline.activity.ActivityModel`
+  pass under a declarative configuration key;
+* :class:`FetchUnit` — Section 2.3 :class:`~repro.core.icompress.FetchStatistics`
+  over the instruction stream.
+
+:class:`ResultBroker` executes units with a three-level fallthrough —
+in-memory memo → persistent :class:`~repro.study.result_store.ResultStore`
+→ compute — so a unit shared by several experiments (``baseline32``
+appears in every figure; ``byte_serial`` in fig4, fig6 and the
+bottleneck analysis) runs **at most once per session**, and not at all
+when a warm result store holds it.  :meth:`ResultBroker.run_units` fans
+pending units out across forked workers, sharding *within* an
+experiment rather than only across experiments; because every unit is
+deterministic, study reports reassemble byte-identically regardless of
+scheduling.
+"""
+
+import multiprocessing
+import sys
+from collections import namedtuple
+
+from repro.core.extension import BYTE_SCHEME, SCHEMES
+from repro.core.icompress import FetchStatistics
+from repro.pipeline.activity import ActivityModel, ActivityReport
+from repro.pipeline.base import InOrderPipeline, PipelineResult
+from repro.pipeline.organizations import get_organization
+from repro.pipeline.predictor import BimodalPredictor
+
+#: The only recognised SimUnit variant besides None: a bimodal direction
+#: predictor with an ideal BTB attached to the pipeline.
+BIMODAL_VARIANT = "bimodal"
+
+
+class SimUnit(namedtuple("SimUnit", ("workload", "scale", "organization", "variant"))):
+    """One pipeline simulation: (workload name, scale, organization, variant)."""
+
+    __slots__ = ()
+    kind = "pipeline"
+
+    def __new__(cls, workload, scale, organization, variant=None):
+        if variant not in (None, BIMODAL_VARIANT):
+            raise ValueError("unknown simulation variant %r" % (variant,))
+        return super().__new__(cls, workload, scale, organization, variant)
+
+    def descriptor(self):
+        """JSON-able identity for the persistent result store."""
+        return {
+            "kind": self.kind,
+            "organization": self.organization,
+            "variant": self.variant,
+        }
+
+    def slug(self):
+        """Filename-safe unit name."""
+        if self.variant is None:
+            return self.organization
+        return "%s+%s" % (self.organization, self.variant)
+
+    def label(self):
+        """Human-readable counter key: ``workload@scale/organization``."""
+        return "%s@%d/%s" % (self.workload, self.scale, self.slug())
+
+
+class ActivityUnit(namedtuple("ActivityUnit", ("workload", "scale", "config"))):
+    """One activity-model pass; ``config`` is ActivityModel.config_key()."""
+
+    __slots__ = ()
+    kind = "activity"
+
+    def descriptor(self):
+        return {"kind": self.kind, "config": list(self.config)}
+
+    def slug(self):
+        scheme_name, pc_block_bits, _latch_boundaries, ext_in_memory = self.config
+        return "activity-%s-pc%d%s" % (
+            scheme_name,
+            pc_block_bits,
+            "-mem" if ext_in_memory else "",
+        )
+
+    def label(self):
+        return "%s@%d/%s" % (self.workload, self.scale, self.slug())
+
+
+class FetchUnit(namedtuple("FetchUnit", ("workload", "scale"))):
+    """One fetch-statistics walk (default instruction compressor)."""
+
+    __slots__ = ()
+    kind = "fetch"
+
+    def descriptor(self):
+        return {"kind": self.kind}
+
+    def slug(self):
+        return "fetch"
+
+    def label(self):
+        return "%s@%d/fetch" % (self.workload, self.scale)
+
+
+def activity_config(scheme=BYTE_SCHEME, ext_bits_in_memory=False):
+    """The config key of a study-standard ActivityModel over ``scheme``.
+
+    Built through a throwaway model so declarative unit requests and the
+    runtime model can never disagree about the key.
+    """
+    return ActivityModel(
+        scheme=scheme, ext_bits_in_memory=ext_bits_in_memory
+    ).config_key()
+
+
+def model_from_config(config):
+    """Reconstruct the ActivityModel an :class:`ActivityUnit` describes."""
+    scheme_name, pc_block_bits, latch_boundaries, ext_bits_in_memory = config
+    return ActivityModel(
+        scheme=SCHEMES[scheme_name],
+        pc_block_bits=pc_block_bits,
+        latch_boundaries=latch_boundaries,
+        ext_bits_in_memory=ext_bits_in_memory,
+    )
+
+
+def _result_from_payload(unit, payload):
+    """Deserialize a stored payload for ``unit``; None when unusable."""
+    try:
+        if isinstance(unit, SimUnit):
+            return PipelineResult.from_dict(payload)
+        if isinstance(unit, ActivityUnit):
+            return ActivityReport.from_dict(payload)
+        return FetchStatistics.from_dict(payload)
+    except (ValueError, TypeError):
+        return None
+
+
+# Fork-inherited broker for the unit worker pool; per task only the unit
+# tuple travels.  A global keeps run_units reentrant across brokers.
+_WORKER_BROKER = None
+
+
+def _unit_worker_init(broker):
+    global _WORKER_BROKER
+    _WORKER_BROKER = broker
+
+
+def _unit_worker_run(unit):
+    workload = _WORKER_BROKER._workload_for(unit)
+    return _WORKER_BROKER._compute(unit, workload)
+
+
+class ResultBroker:
+    """Memoizing executor for analysis units.
+
+    Sits on top of a :class:`~repro.study.session.TraceStore` (traces)
+    and an optional :class:`~repro.study.result_store.ResultStore`
+    (persistence).  Every request falls through memory → disk → compute;
+    the counters prove the discipline:
+
+    * :attr:`sim_misses` — units actually computed in this process (the
+      acceptance criterion: a warm run reports an empty dict);
+    * :attr:`sim_hits` — requests served from the in-memory memo;
+    * :attr:`disk_hits` — units loaded from the persistent store.
+    """
+
+    def __init__(self, trace_store, result_store=None):
+        self.traces = trace_store
+        self.store = result_store
+        self._memo = {}
+        self._workloads = {}
+        #: unit label -> count, mirroring TraceStore's counter style.
+        self.sim_hits = {}
+        self.sim_misses = {}
+        self.disk_hits = {}
+
+    # ------------------------------------------------------------- requests
+
+    def pipeline_result(self, workload, organization, scale=1, variant=None):
+        """Memoized ``simulate(organization, trace)`` for one workload."""
+        unit = SimUnit(workload.name, scale, organization, variant)
+        return self._ensure(unit, workload)
+
+    def activity_report(self, model, workload, scale=1):
+        """Memoized ``model.process(trace)``.
+
+        Models whose configuration the declarative key cannot express
+        (custom compressor or hierarchy) are computed directly, without
+        memoization — correctness over reuse.
+        """
+        config = model.config_key()
+        if config is None:
+            records = self.traces.trace(workload, scale=scale)
+            return model.process(records, name=workload.name)
+        unit = ActivityUnit(workload.name, scale, config)
+        return self._ensure(unit, workload)
+
+    def fetch_statistics(self, workload, scale=1):
+        """Memoized default-compressor FetchStatistics for one workload."""
+        unit = FetchUnit(workload.name, scale)
+        return self._ensure(unit, workload)
+
+    # ------------------------------------------------------------ scheduling
+
+    def run_units(self, units, workloads_by_name, jobs=1):
+        """Execute requested units (deduping them) serially or across
+        forked workers.
+
+        Duplicate requests — the same unit declared by several
+        experiments, or already memoized — count as :attr:`sim_hits`
+        here in the parent, so the dedupe is visible in the JSON report
+        even when the runners later execute in forked workers (whose
+        process-local counters die with the pool).  Disk-warm units load
+        in the parent; only genuinely pending units reach the pool.
+        Results land in the in-memory memo, so the experiment runners
+        that follow recompute nothing.
+        """
+        pending = []
+        seen = set()
+        for unit in units:
+            if unit in self._memo or unit in seen:
+                # Served by the memo (or by the pending compute below).
+                self._count(self.sim_hits, unit)
+                continue
+            seen.add(unit)
+            workload = workloads_by_name[unit.workload]
+            self._register(workload)
+            if self._load_from_disk(unit, workload) is None:
+                pending.append(unit)
+        if jobs > 1 and len(pending) > 1:
+            results = self._compute_parallel(pending, jobs)
+        else:
+            results = [
+                self._compute(unit, workloads_by_name[unit.workload])
+                for unit in pending
+            ]
+        for unit, result in zip(pending, results):
+            self._install(unit, workloads_by_name[unit.workload], result)
+        return len(pending)
+
+    def _compute_parallel(self, pending, jobs):
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # no fork on this platform: stay correct, serial
+            print(
+                "repro: fork start method unavailable on this platform; "
+                "computing %d units serially despite --jobs %d"
+                % (len(pending), jobs),
+                file=sys.stderr,
+            )
+            return [
+                self._compute(unit, self._workload_for(unit))
+                for unit in pending
+            ]
+        with context.Pool(
+            processes=min(jobs, len(pending)),
+            initializer=_unit_worker_init,
+            initargs=(self,),
+        ) as pool:
+            return pool.map(_unit_worker_run, pending, chunksize=1)
+
+    # -------------------------------------------------------------- internal
+
+    def _register(self, workload):
+        self._workloads[workload.name] = workload
+
+    def _workload_for(self, unit):
+        return self._workloads[unit.workload]
+
+    def _count(self, counters, unit):
+        label = unit.label()
+        counters[label] = counters.get(label, 0) + 1
+
+    def _ensure(self, unit, workload):
+        self._register(workload)
+        if unit in self._memo:
+            self._count(self.sim_hits, unit)
+            return self._memo[unit]
+        result = self._load_from_disk(unit, workload)
+        if result is not None:
+            return result
+        result = self._compute(unit, workload)
+        self._install(unit, workload, result)
+        return result
+
+    def _load_from_disk(self, unit, workload):
+        """Memoize a persisted result; None when absent or unusable."""
+        if self.store is None:
+            return None
+        payload = self.store.load(workload, unit)
+        if payload is None:
+            return None
+        result = _result_from_payload(unit, payload)
+        if result is None:
+            return None
+        self._memo[unit] = result
+        self._count(self.disk_hits, unit)
+        return result
+
+    def _compute(self, unit, workload):
+        """Run one unit (no memo, no disk, no counters): pure compute."""
+        records = self.traces.trace(workload, scale=unit.scale)
+        if isinstance(unit, SimUnit):
+            organization = get_organization(unit.organization)
+            if unit.variant == BIMODAL_VARIANT:
+                pipeline = InOrderPipeline(
+                    organization, predictor=BimodalPredictor()
+                )
+            else:
+                pipeline = InOrderPipeline(organization)
+            return pipeline.run(records)
+        if isinstance(unit, ActivityUnit):
+            return model_from_config(unit.config).process(
+                records, name=workload.name
+            )
+        stats = FetchStatistics()
+        for record in records:
+            stats.record(record.instr)
+        return stats
+
+    def _install(self, unit, workload, result):
+        """Memoize a freshly computed result and write it back to disk."""
+        self._memo[unit] = result
+        self._count(self.sim_misses, unit)
+        if self.store is not None:
+            self.store.store(workload, unit, result.to_dict())
+
+    def __repr__(self):
+        return "ResultBroker(%d memoized, %d computed)" % (
+            len(self._memo),
+            sum(self.sim_misses.values()),
+        )
+
+
+# ----------------------------------------------- store-or-fallback helpers
+
+
+def _records(workload, scale, store):
+    """Trace records via the store when given, else the workload cache."""
+    if store is None:
+        return workload.trace(scale=scale)
+    return store.trace(workload, scale=scale)
+
+
+def resolve_pipeline_result(workload, scale, organization, store=None,
+                            variant=None):
+    """A (memoized, when possible) PipelineResult for one unit.
+
+    With a broker-carrying store (``store.results``) the request goes
+    through the unit scheduler; otherwise it simulates directly, exactly
+    as the pre-subsystem imperative call sites did.
+    """
+    broker = getattr(store, "results", None) if store is not None else None
+    if broker is not None:
+        return broker.pipeline_result(
+            workload, organization, scale=scale, variant=variant
+        )
+    records = _records(workload, scale, store)
+    org = get_organization(organization)
+    if variant == BIMODAL_VARIANT:
+        return InOrderPipeline(org, predictor=BimodalPredictor()).run(records)
+    return InOrderPipeline(org).run(records)
+
+
+def resolve_activity_report(model, workload, scale, store=None):
+    """A (memoized, when possible) ActivityReport for one workload."""
+    broker = getattr(store, "results", None) if store is not None else None
+    if broker is not None:
+        return broker.activity_report(model, workload, scale=scale)
+    return model.process(_records(workload, scale, store), name=workload.name)
+
+
+def resolve_fetch_statistics(workload, scale, store=None):
+    """(Memoized, when possible) default-compressor fetch statistics."""
+    broker = getattr(store, "results", None) if store is not None else None
+    if broker is not None:
+        return broker.fetch_statistics(workload, scale=scale)
+    stats = FetchStatistics()
+    for record in _records(workload, scale, store):
+        stats.record(record.instr)
+    return stats

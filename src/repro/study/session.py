@@ -12,10 +12,21 @@ and an optional machine-readable JSON report.  Backed by a persistent
 ``repro all --cache-dir``), the store also amortizes materialization
 across processes and CI runs: a warm run simulates nothing.
 
-Parallel execution forks workers *after* the store is warm, so the
-workers inherit the materialized traces and nothing is simulated twice;
-``pool.map`` keeps results in submission order, making ``--jobs N``
-output byte-identical to a serial run.
+On top of the trace layer sits the unit scheduler
+(:mod:`repro.study.scheduler`): before any runner starts, the session
+collects each experiment's declared analysis units — one pipeline
+simulation, activity pass or fetch walk per ``(workload, scale)`` —
+dedupes them across experiments, and executes the pending ones through
+the session's :class:`~repro.study.scheduler.ResultBroker` (fanned out
+across forked workers under ``--jobs N``).  Shared units like the
+``baseline32`` simulation therefore run at most once per session, and
+with a warm persistent :class:`~repro.study.result_store.ResultStore`
+(same ``cache_dir``) not at all.
+
+Parallel execution forks workers *after* the stores are warm, so the
+workers inherit the materialized traces and memoized results and
+nothing is computed twice; ``pool.map`` keeps results in submission
+order, making ``--jobs N`` output byte-identical to a serial run.
 
 This module deliberately imports :mod:`repro.study.experiments` lazily:
 the study modules call :func:`resolve_trace` from here, and the
@@ -59,6 +70,10 @@ class TraceStore:
         self._owners = {}
         #: Optional persistent TraceCache backing this store.
         self.cache = cache
+        #: Optional :class:`~repro.study.scheduler.ResultBroker` riding
+        #: on this store (set by ExperimentSession): the studies reach
+        #: memoized per-(workload, organization) results through it.
+        self.results = None
         #: (workload name, scale) -> number of times the trace was built.
         self.materializations = {}
         #: (workload name, scale) -> number of persistent-cache loads.
@@ -149,20 +164,32 @@ class ExperimentSession:
     """
 
     def __init__(self, workloads=None, scale=1, store=None, cache_dir=None):
+        from repro.study.scheduler import ResultBroker
+
         self.workloads = (
             list(workloads) if workloads is not None else mediabench_suite()
         )
         self.scale = scale
+        result_store = None
         if store is None:
             cache = None
             if cache_dir is not None:
+                from repro.study.result_store import ResultStore
                 from repro.study.trace_cache import TraceCache
 
                 cache = TraceCache(cache_dir)
+                # The result store shares the trace cache's directory:
+                # *.trace files next to *.result files.
+                result_store = ResultStore(cache_dir)
             store = TraceStore(cache=cache)
         elif cache_dir is not None:
             raise ValueError("pass cache_dir or a store, not both")
         self.store = store
+        if self.store.results is None:
+            self.store.results = ResultBroker(self.store, result_store)
+        #: The unit scheduler: memoizes per-(workload, organization)
+        #: simulation/analysis results over this session's trace store.
+        self.results = self.store.results
 
     # ------------------------------------------------------------ scheduling
 
@@ -195,6 +222,47 @@ class ExperimentSession:
             self.store.trace(workload, scale=scale)
         return self.store
 
+    def required_units(self, names):
+        """The deduped analysis units the named experiments consume.
+
+        Units shared across experiments (``baseline32`` appears in every
+        CPI figure) occur once, in first-use order.
+        """
+        from repro.study.experiments import EXPERIMENTS
+
+        units = []
+        seen = set()
+        for name in names:
+            for unit in EXPERIMENTS[name].required_units(
+                self.workloads, self.scale
+            ):
+                if unit not in seen:
+                    seen.add(unit)
+                    units.append(unit)
+        return units
+
+    def prepare_units(self, names=None, jobs=1):
+        """Execute every unit the named experiments need, at most once.
+
+        With ``jobs > 1`` pending units fan out across forked workers —
+        sharding *within* an experiment (per workload and organization),
+        not just across experiments.  The raw (pre-dedupe) request list
+        goes to the broker so cross-experiment sharing registers as
+        ``sim_hits`` regardless of how the runners are scheduled later.
+        Returns the number of units actually computed (0 on a fully
+        warm result store).
+        """
+        from repro.study.experiments import EXPERIMENTS
+
+        names = list(names) if names is not None else self.experiment_ids()
+        by_name = {workload.name: workload for workload in self.workloads}
+        requests = []
+        for name in names:
+            requests.extend(
+                EXPERIMENTS[name].required_units(self.workloads, self.scale)
+            )
+        return self.results.run_units(requests, by_name, jobs=jobs)
+
     # -------------------------------------------------------------- execution
 
     def run_one(self, name):
@@ -220,6 +288,7 @@ class ExperimentSession:
         """
         names = self._validate(names)
         self.prepare(names)
+        self.prepare_units(names, jobs=jobs)
         if jobs > 1 and len(names) > 1:
             return self._run_parallel(names, jobs)
         return [self.run_one(name) for name in names]
@@ -233,6 +302,7 @@ class ExperimentSession:
         """
         names = self._validate(names)
         self.prepare(names)
+        self.prepare_units(names)
         for name in names:
             yield self.run_one(name)
 
@@ -309,6 +379,14 @@ class ExperimentSession:
             },
             "trace_cache_dir": (
                 self.store.cache.root if self.store.cache is not None else None
+            ),
+            "sim_hits": dict(sorted(self.results.sim_hits.items())),
+            "sim_misses": dict(sorted(self.results.sim_misses.items())),
+            "result_disk_hits": dict(sorted(self.results.disk_hits.items())),
+            "result_store_dir": (
+                self.results.store.root
+                if self.results.store is not None
+                else None
             ),
         }
         return json.dumps(payload, indent=indent)

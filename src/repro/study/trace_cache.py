@@ -48,6 +48,36 @@ def default_cache_dir():
     return os.environ.get(ENV_CACHE_DIR) or None
 
 
+def fingerprint_sources(packages=(), modules=()):
+    """Hex digest over the sources of packages (recursive) and modules.
+
+    Hashes the dotted name, relative path and contents of every ``.py``
+    file involved, so any source change — anywhere in those trees —
+    yields a new digest.  Both this module's toolchain fingerprint and
+    the result store's engine fingerprint are built on this walker.
+    """
+    digest = hashlib.sha256()
+    for package_name in packages:
+        package = __import__(package_name, fromlist=["__file__"])
+        root = os.path.dirname(package.__file__)
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                relative = os.path.relpath(path, root)
+                digest.update(("%s:%s\n" % (package_name, relative)).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+    for module_name in modules:
+        module = __import__(module_name, fromlist=["__file__"])
+        digest.update(("%s\n" % module_name).encode())
+        with open(module.__file__, "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()
+
+
 def toolchain_fingerprint():
     """Hex digest over every toolchain source file (computed once).
 
@@ -57,21 +87,7 @@ def toolchain_fingerprint():
     """
     global _toolchain_fingerprint
     if _toolchain_fingerprint is None:
-        digest = hashlib.sha256()
-        for package_name in _TOOLCHAIN_PACKAGES:
-            package = __import__(package_name, fromlist=["__file__"])
-            root = os.path.dirname(package.__file__)
-            for dirpath, dirnames, filenames in os.walk(root):
-                dirnames.sort()
-                for filename in sorted(filenames):
-                    if not filename.endswith(".py"):
-                        continue
-                    path = os.path.join(dirpath, filename)
-                    relative = os.path.relpath(path, root)
-                    digest.update(("%s:%s\n" % (package_name, relative)).encode())
-                    with open(path, "rb") as handle:
-                        digest.update(handle.read())
-        _toolchain_fingerprint = digest.hexdigest()
+        _toolchain_fingerprint = fingerprint_sources(_TOOLCHAIN_PACKAGES)
     return _toolchain_fingerprint
 
 

@@ -5,11 +5,16 @@ improve: cold-cache runs (trace materialization dominates) vs warm-cache
 runs (analysis only), disk-warm runs (traces decoded from the
 significance-compressed persistent cache instead of simulated),
 analysis-warm runs (pipeline/activity results served from the
-persistent result store instead of recomputed), and serial vs parallel
+persistent result store instead of recomputed), serial vs parallel
 scheduling of independent experiments over a shared, pre-materialized
-TraceStore.
+TraceStore, and raw simulation throughput per registered pipeline
+kernel (the reference-vs-tabular speedup lands in the benchmark JSON
+artifact).
 """
 
+import pytest
+
+from repro.pipeline import InOrderPipeline, get_organization, kernel_names
 from repro.study.session import ExperimentSession, TraceStore
 from repro.study.trace_cache import TraceCache
 from repro.workloads import get_workload
@@ -20,9 +25,25 @@ RUNNER_IDS = ("table1", "table2", "table3")
 #: Cheap synthetic workloads: cold-cache rounds stay affordable.
 RUNNER_WORKLOADS = ("synth_small", "synth_stride")
 
+#: Organizations timed by the per-kernel throughput case — the cheap
+#: baseline and the occupancy-heavy serial machine bracket the range.
+KERNEL_BENCH_ORGANIZATIONS = ("baseline32", "byte_serial")
+
+_KERNEL_BENCH_TRACES = None
+
 
 def _workloads():
     return [get_workload(name) for name in RUNNER_WORKLOADS]
+
+
+def _kernel_bench_traces():
+    """The throughput workload traces, materialized once per session."""
+    global _KERNEL_BENCH_TRACES
+    if _KERNEL_BENCH_TRACES is None:
+        _KERNEL_BENCH_TRACES = [
+            workload.trace() for workload in _workloads()
+        ]
+    return _KERNEL_BENCH_TRACES
 
 
 def test_runner_cold_cache(benchmark):
@@ -88,6 +109,29 @@ def test_runner_analysis_warm(benchmark, tmp_path):
 
     results = benchmark.pedantic(run_analysis_warm, rounds=3, iterations=1)
     assert len(results) == 1
+
+
+@pytest.mark.parametrize("kernel", kernel_names())
+def test_kernel_sim_throughput(benchmark, kernel):
+    # Sims-per-second per registered pipeline kernel: the tabular
+    # kernel's speedup over reference is tracked by comparing these
+    # cases in the benchmark JSON artifact (instructions simulated per
+    # round lands in extra_info, so rate = instructions / mean).
+    traces = _kernel_bench_traces()
+    organizations = [get_organization(name) for name in KERNEL_BENCH_ORGANIZATIONS]
+
+    def run():
+        instructions = 0
+        for organization in organizations:
+            for records in traces:
+                result = InOrderPipeline(organization, kernel=kernel).run(records)
+                instructions += result.instructions
+        return instructions
+
+    instructions = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["kernel"] = kernel
+    benchmark.extra_info["instructions_per_round"] = instructions
+    assert instructions > 0
 
 
 def test_runner_serial(benchmark):

@@ -2,13 +2,15 @@
 
 Examples::
 
-    repro list                      # show available experiments
+    repro list                      # experiments, organizations, workloads, kernels
+    repro list --format json        # the same enumeration for scripts
     repro table5                    # reproduce Table 5 on the full suite
     repro fig4 --scale 2            # larger inputs
     repro table1 --workloads rawcaudio,cjpeg
     repro all                       # every table and figure in sequence
     repro all --jobs 4              # same output, experiments in parallel
     repro all --format json         # machine-readable report
+    repro all --kernel tabular      # same output, fast simulation backend
     repro all --cache-dir .cache    # persist traces + results across processes
     repro cache info                # trace-cache and result-store statistics
     repro cache clear               # drop every cached trace and result
@@ -16,13 +18,20 @@ Examples::
 
 The persistent cache directory (shared by the trace cache and the
 result store) defaults to the ``REPRO_CACHE_DIR`` environment variable;
-``--cache-dir`` overrides it.
+``--cache-dir`` overrides it.  The simulation backend defaults to the
+``REPRO_KERNEL`` environment variable; ``--kernel`` overrides it.
 """
 
 import argparse
 import json
 import sys
 
+from repro.pipeline.kernel import (
+    ENV_KERNEL,
+    default_kernel_name,
+    get_kernel,
+    kernel_names,
+)
 from repro.study.experiments import EXPERIMENTS
 from repro.study.result_store import ResultStore
 from repro.study.session import ExperimentSession
@@ -78,6 +87,14 @@ def build_parser():
         choices=("text", "json"),
         default="text",
         help="report format (default text)",
+    )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        help=(
+            "pipeline simulation backend (default: $%s when set, else "
+            "'reference'); see 'repro list' for registered kernels" % ENV_KERNEL
+        ),
     )
     _add_cache_dir_option(parser)
     return parser
@@ -210,16 +227,60 @@ def _cache_main(argv):
     return 0
 
 
+def _list_main(args):
+    """Run ``repro list``: enumerate every name a script might need."""
+    from repro.pipeline.organizations import ALL_ORGANIZATIONS
+
+    organizations = [org.name for org in ALL_ORGANIZATIONS]
+    workload_names = sorted(all_workloads())
+    kernels = kernel_names()
+    default_kernel = (
+        args.kernel if args.kernel is not None else default_kernel_name()
+    )
+    if args.format == "json":
+        payload = {
+            "experiments": {
+                name: EXPERIMENTS[name].description
+                for name in sorted(EXPERIMENTS)
+            },
+            "organizations": organizations,
+            "workloads": workload_names,
+            "kernels": kernels,
+            "default_kernel": default_kernel,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print("experiments:")
+    for name in sorted(EXPERIMENTS):
+        print("  %-22s %s" % (name, EXPERIMENTS[name].description))
+    print("organizations: %s" % ", ".join(organizations))
+    print("workloads: %s" % ", ".join(workload_names))
+    print(
+        "kernels: %s"
+        % ", ".join(
+            "%s (default)" % name if name == default_kernel else name
+            for name in kernels
+        )
+    )
+    return 0
+
+
 def main(argv=None):
     """CLI entry point."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["cache"]:
         return _cache_main(argv[1:])
     args = build_parser().parse_args(argv)
+    try:
+        if args.kernel is not None:
+            get_kernel(args.kernel)  # unknown names exit before any work
+        else:
+            default_kernel_name()  # validates $REPRO_KERNEL
+    except (KeyError, ValueError) as error:
+        print(error.args[0] if error.args else str(error), file=sys.stderr)
+        return 2
     if args.experiment == "list":
-        for name in sorted(EXPERIMENTS):
-            print("%-22s %s" % (name, EXPERIMENTS[name].description))
-        return 0
+        return _list_main(args)
     workloads = None
     if args.workloads is not None:
         try:
@@ -242,6 +303,7 @@ def main(argv=None):
         workloads=workloads,
         scale=args.scale,
         cache_dir=_resolve_cache_dir(args),
+        kernel=args.kernel,
     )
     names = None if args.experiment == "all" else [args.experiment]
     try:

@@ -35,14 +35,30 @@ from repro.pipeline.organizations import (
     get_organization,
     simulate,
 )
+from repro.pipeline.kernel import (
+    ExpandedTrace,
+    PipelineKernel,
+    default_kernel_name,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    set_default_kernel,
+)
 
 __all__ = [
     "ActivityModel",
     "ActivityReport",
     "AlwaysStallPredictor",
     "BimodalPredictor",
+    "ExpandedTrace",
     "InOrderPipeline",
+    "PipelineKernel",
     "PipelineResult",
+    "default_kernel_name",
+    "get_kernel",
+    "kernel_names",
+    "register_kernel",
+    "set_default_kernel",
     "ALL_ORGANIZATIONS",
     "BaselineOrg",
     "ByteSerialOrg",

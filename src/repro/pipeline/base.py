@@ -6,6 +6,12 @@ stage is busy and cannot accept the next instruction — plus optional
 extra *latency* on the EX side (skew latches), and dispatched with the
 classic reservation recurrence:
 
+Since the kernel redesign, :class:`InOrderPipeline` is a thin facade:
+the actual expansion + recurrence live in a pluggable backend selected
+from :mod:`repro.pipeline.kernel` (``reference`` reproduces the
+original fused loop; ``tabular`` precomputes the expansion with
+memoization).  The recurrence semantics, shared by every backend:
+
 * a stage is entered one cycle after the instruction entered the
   previous stage (byte cut-through: later bytes of a serial operation
   stream behind the first), never before the stage has drained the
@@ -24,7 +30,6 @@ Cache and TLB stalls come from :class:`~repro.sim.hierarchy.MemoryHierarchy`
 with the paper's Section 3 parameters.
 """
 
-from repro.pipeline.siginfo import compute_siginfo
 from repro.sim.hierarchy import MemoryHierarchy
 
 
@@ -106,6 +111,14 @@ class PipelineResult:
             fields = {field: payload[field] for field in cls._FIELDS}
         except KeyError as error:
             raise ValueError("pipeline result payload missing %s" % error)
+        # A corrupted-but-checksummed entry must fail here, not as a
+        # TypeError deep inside stall_fraction()/bottleneck().
+        for field in ("stalls", "stage_excess"):
+            if not isinstance(fields[field], dict):
+                raise ValueError(
+                    "pipeline result field %r must be a mapping, got %s"
+                    % (field, type(fields[field]).__name__)
+                )
         return cls(**fields)
 
     def __eq__(self, other):
@@ -130,6 +143,12 @@ class PipelineResult:
 class InOrderPipeline:
     """Trace-driven timing model for one organization.
 
+    A thin facade over a pluggable :class:`~repro.pipeline.kernel.PipelineKernel`:
+    ``run`` expands the trace through the selected backend and replays
+    the reservation recurrence documented above.  ``kernel`` may be a
+    registered kernel name, a kernel instance, or ``None`` for the
+    process default (``--kernel`` / ``$REPRO_KERNEL`` / ``reference``).
+
     ``predictor`` (optional) enables the Section 3 future-work study: a
     direction predictor with ideal BTB.  Correctly predicted control
     instructions stop gating fetch; mispredictions redirect at the
@@ -137,160 +156,19 @@ class InOrderPipeline:
     does for every branch.
     """
 
-    def __init__(self, organization, hierarchy_config=None, predictor=None):
+    def __init__(self, organization, hierarchy_config=None, predictor=None,
+                 kernel=None):
         self.organization = organization
         self.hierarchy = MemoryHierarchy(hierarchy_config)
         self.predictor = predictor
+        self.kernel = kernel
 
     def run(self, records):
         """Simulate ``records`` and return a :class:`PipelineResult`."""
-        org = self.organization
-        scheme = org.scheme
-        compressor = org.compressor
-        free = [0, 0, 0, 0, 0]  # IF, RD, EX, MEM, WB
-        redirect_time = 0
-        fetch_debt = 0  # byte backlog of the banked instruction cache
-        # Register readiness: reg -> (first_block_ready, last_block_ready).
-        ready = {}
-        stalls = {
-            "branch": 0,
-            "icache": 0,
-            "dcache": 0,
-            "data": 0,
-            "rd_struct": 0,
-            "ex_struct": 0,
-            "mem_struct": 0,
-            "wb_struct": 0,
-        }
-        last_end = 0
-        count = 0
-        excess = {"if": 0, "rd": 0, "ex": 0, "mem": 0, "wb": 0}
-        for record in records:
-            count += 1
-            info = compute_siginfo(record, scheme=scheme, compressor=compressor)
-            occ_if, occ_rd, occ_ex, occ_mem, occ_wb = org.occupancies(record, info)
-            excess["if"] += occ_if - 1
-            excess["rd"] += occ_rd - 1
-            excess["ex"] += occ_ex - 1
-            excess["mem"] += occ_mem - 1
-            excess["wb"] += occ_wb - 1
+        # Imported lazily: the kernel module registers backends that
+        # construct PipelineResult, so it imports this module.
+        from repro.pipeline.kernel import resolve_kernel
 
-            # ----------------------------------------------------------- IF
-            imiss = self.hierarchy.access_instruction(record.pc).stall_cycles
-            want_if = free[0]
-            if_start = max(want_if, redirect_time)
-            if if_start > want_if:
-                stalls["branch"] += if_start - want_if
-                fetch_debt = 0  # a redirect drains the fetch banks
-            if org.banked_fetch:
-                # Three permuted byte banks sustain 3 bytes/cycle: fourth
-                # bytes accumulate as bank debt, costing one extra cycle
-                # per three backlog bytes rather than one per instruction.
-                fetch_debt += max(0, info.fetch_bytes - 3)
-                extra = 0
-                if fetch_debt >= 3:
-                    extra = 1
-                    fetch_debt -= 3
-                if_end = if_start + 1 + extra + imiss
-            else:
-                if_end = if_start + occ_if + imiss
-            stalls["icache"] += imiss
-            free[0] = if_end
-
-            # ----------------------------------------------------------- RD
-            arrival = if_start + 1 + imiss
-            rd_start = max(arrival, free[1])
-            stalls["rd_struct"] += rd_start - arrival
-            rd_end = max(rd_start + occ_rd, if_end)
-            free[1] = rd_end
-
-            # ----------------------------------------------------------- EX
-            ready_first = 0
-            ready_last = 0
-            for register in record.instr.source_registers():
-                times = ready.get(register)
-                if times is not None:
-                    if times[0] > ready_first:
-                        ready_first = times[0]
-                    if times[1] > ready_last:
-                        ready_last = times[1]
-            arrival = rd_start + 1
-            structural = max(arrival, free[2])
-            stalls["ex_struct"] += structural - arrival
-            if org.streams_operands:
-                ex_start = max(structural, ready_first)
-            else:
-                ex_start = max(structural, ready_last)
-            stalls["data"] += ex_start - structural
-            ex_busy_until = ex_start + occ_ex
-            free[2] = ex_busy_until
-            # Completion may trail occupancy (skew latches) and can never
-            # precede the arrival of the last instruction byte.  Byte
-            # lanes align between producer and consumer, so per-byte
-            # chaining is captured by the ready_first constraint alone.
-            ex_end = max(
-                ex_busy_until + org.ex_latency(record, info), rd_end
-            )
-
-            # ---------------------------------------------------------- MEM
-            # The stage is *busy* for its occupancy (plus any blocking
-            # miss); *completion* additionally trails the EX completion
-            # latency, without holding the stage for later instructions.
-            dmiss = 0
-            if record.mem_addr is not None:
-                dmiss = self.hierarchy.access_data(
-                    record.mem_addr, is_store=record.mem_is_store
-                ).stall_cycles
-            arrival = ex_start + 1
-            if record.mem_addr is None:
-                mem_start = max(arrival, free[3])
-            else:
-                address_ready = org.address_ready(record, info, ex_start, ex_end)
-                mem_start = max(arrival, address_ready, free[3])
-            stalls["mem_struct"] += max(0, free[3] - arrival)
-            free[3] = mem_start + occ_mem + dmiss
-            mem_end = max(free[3], ex_end)
-            stalls["dcache"] += dmiss
-
-            # ----------------------------------------------------------- WB
-            arrival = mem_start + 1
-            wb_start = max(arrival, free[4])
-            stalls["wb_struct"] += max(0, free[4] - arrival)
-            free[4] = wb_start + occ_wb
-            wb_end = max(free[4], mem_end)
-
-            # --------------------------------------------- result readiness
-            destination = record.instr.destination_register()
-            if destination is not None:
-                if record.instr.is_load:
-                    # mem_end already includes any miss stall; the first
-                    # block emerges occ_mem-1 cycles before the last.
-                    first = mem_end - max(0, occ_mem - 1)
-                    ready[destination] = (first, mem_end)
-                elif record.alu_kind is not None:
-                    first = min(ex_start + 1 + org.forward_latency, ex_end)
-                    ready[destination] = (first, ex_end)
-                else:
-                    # jal/jalr link values, mfhi/mflo.
-                    ready[destination] = (ex_end, ex_end)
-
-            # ------------------------------------------------- control flow
-            if record.instr.is_control:
-                if self.predictor is not None and self.predictor.predict(record):
-                    pass  # correct prediction: fetch continues unhindered
-                else:
-                    redirect_time = org.resolution_time(
-                        record, info, rd_end=rd_end, ex_start=ex_start, ex_end=ex_end
-                    )
-            last_end = wb_end
-        return PipelineResult(
-            org.name,
-            count,
-            last_end,
-            stalls,
-            self.hierarchy.stats(),
-            stage_excess=excess,
-            predictor_accuracy=(
-                self.predictor.accuracy if self.predictor is not None else None
-            ),
-        )
+        kernel = resolve_kernel(self.kernel)
+        expanded = kernel.expand(records, self.organization)
+        return kernel.simulate(expanded, self.hierarchy, self.predictor)

@@ -78,20 +78,51 @@ class Organization:
         """Extra EX completion latency beyond the busy time."""
         return 0
 
-    def address_ready(self, record, info, ex_start, ex_end):
-        """Cycle at which a memory access may index the D-cache.
+    # Timing *plans* are the declarative source of truth for address
+    # readiness and control resolution: a plan names an anchor and an
+    # offset instead of computing a cycle, so backends that precompute
+    # the expansion (the tabular kernel) can evaluate it later against
+    # runtime EX/RD times.  The imperative address_ready/resolution_time
+    # hooks below derive from the plans; organizations should override
+    # the plan, not the hook, so every kernel agrees by construction.
 
-        By default the full effective address must be complete.  Skewed
-        organizations override this: the set index lives in the low
-        address bytes, and the tag comparison is itself byte-skewed.
+    def address_plan(self, record, info):
+        """How a memory access's D-cache launch time derives from EX.
+
+        Returns ``("ex_end", 0)`` (the full effective address must be
+        complete) or ``("ex_start", k)`` (the access launches ``k``
+        cycles after EX entry).  Skewed organizations use the latter:
+        the set index lives in the low address bytes, and the tag
+        comparison is itself byte-skewed.
         """
-        return ex_end
+        return ("ex_end", 0)
+
+    def resolution_plan(self, record, info):
+        """How a control instruction's redirect time derives from RD/EX.
+
+        Returns ``("rd_end", 0)``, ``("ex_end", 0)`` or
+        ``("ex_start", depth)`` — the last resolving at
+        ``max(ex_start + depth, rd_end)``.
+        """
+        if record.instr.opcode in (Opcode.J, Opcode.JAL):
+            return ("rd_end", 0)  # target computable at decode
+        return ("ex_end", 0)
+
+    def address_ready(self, record, info, ex_start, ex_end):
+        """Cycle at which a memory access may index the D-cache."""
+        kind, offset = self.address_plan(record, info)
+        if kind == "ex_end":
+            return ex_end
+        return ex_start + offset
 
     def resolution_time(self, record, info, rd_end, ex_start, ex_end):
         """Cycle at which a control instruction redirects fetch."""
-        if record.instr.opcode in (Opcode.J, Opcode.JAL):
-            return rd_end  # target computable at decode
-        return ex_end
+        kind, depth = self.resolution_plan(record, info)
+        if kind == "rd_end":
+            return rd_end
+        if kind == "ex_end":
+            return ex_end
+        return max(ex_start + depth, rd_end)
 
     def __repr__(self):
         return "Organization(%s)" % self.name
@@ -242,18 +273,17 @@ class ParallelSkewedOrg(Organization):
             return 0
         return self.skew_stages + max(0, max(1, info.alu_blocks) - 1)
 
-    def address_ready(self, record, info, ex_start, ex_end):
+    def address_plan(self, record, info):
         # The low index bytes of the effective address emerge from the
         # first adder lane; the byte-banked data array and the skewed
         # tag comparison absorb the later address bytes, so the access
         # launches one cycle after EX entry.
-        return ex_start + 1
+        return ("ex_start", 1)
 
-    def resolution_time(self, record, info, rd_end, ex_start, ex_end):
+    def resolution_plan(self, record, info):
         if record.instr.opcode in (Opcode.J, Opcode.JAL):
-            return rd_end
-        depth = self.skew_stages + max(1, info.max_src_blocks)
-        return max(ex_start + depth, rd_end)
+            return ("rd_end", 0)
+        return ("ex_start", self.skew_stages + max(1, info.max_src_blocks))
 
 
 class ParallelSkewedBypassOrg(ParallelSkewedOrg):
@@ -288,11 +318,15 @@ def get_organization(name):
     return _BY_NAME[name]
 
 
-def simulate(organization, records, hierarchy_config=None):
+def simulate(organization, records, hierarchy_config=None, kernel=None):
     """Convenience: run ``records`` through one organization.
 
-    ``organization`` may be a name or an Organization instance.
+    ``organization`` may be a name or an Organization instance;
+    ``kernel`` selects a simulation backend by name (default: the
+    process-default kernel, see :mod:`repro.pipeline.kernel`).
     """
     if isinstance(organization, str):
         organization = get_organization(organization)
-    return InOrderPipeline(organization, hierarchy_config).run(records)
+    return InOrderPipeline(organization, hierarchy_config, kernel=kernel).run(
+        records
+    )

@@ -4,7 +4,8 @@ The experiments decompose into fine-grained *units* — one pipeline
 simulation, activity-model pass or fetch-statistics walk over one
 ``(workload, scale)`` trace.  Units are the scheduler's currency:
 
-* :class:`SimUnit` — ``simulate(organization, trace)``, optionally with
+* :class:`SimUnit` — ``simulate(organization, trace)`` under a named
+  pipeline kernel (see :mod:`repro.pipeline.kernel`), optionally with
   a bimodal predictor attached (the Section 3 future-work variant);
 * :class:`ActivityUnit` — an :class:`~repro.pipeline.activity.ActivityModel`
   pass under a declarative configuration key;
@@ -25,12 +26,14 @@ scheduling.
 
 import multiprocessing
 import sys
+import time
 from collections import namedtuple
 
 from repro.core.extension import BYTE_SCHEME, SCHEMES
 from repro.core.icompress import FetchStatistics
 from repro.pipeline.activity import ActivityModel, ActivityReport
 from repro.pipeline.base import InOrderPipeline, PipelineResult
+from repro.pipeline.kernel import default_kernel_name, get_kernel
 from repro.pipeline.organizations import get_organization
 from repro.pipeline.predictor import BimodalPredictor
 
@@ -39,16 +42,33 @@ from repro.pipeline.predictor import BimodalPredictor
 BIMODAL_VARIANT = "bimodal"
 
 
-class SimUnit(namedtuple("SimUnit", ("workload", "scale", "organization", "variant"))):
-    """One pipeline simulation: (workload name, scale, organization, variant)."""
+class SimUnit(
+    namedtuple("SimUnit", ("workload", "scale", "organization", "variant", "kernel"))
+):
+    """One pipeline simulation: (workload, scale, organization, variant, kernel).
+
+    ``kernel`` names the simulation backend (``None`` resolves to the
+    process default at construction, so units built by experiment specs
+    and units built by runners always agree).  Because the kernel is
+    part of the unit identity — and of :meth:`descriptor`, hence of
+    every persistent result-store key — cached results from different
+    backends can never mix.
+    """
 
     __slots__ = ()
     kind = "pipeline"
 
-    def __new__(cls, workload, scale, organization, variant=None):
+    def __new__(cls, workload, scale, organization, variant=None, kernel=None):
         if variant not in (None, BIMODAL_VARIANT):
             raise ValueError("unknown simulation variant %r" % (variant,))
-        return super().__new__(cls, workload, scale, organization, variant)
+        if kernel is None:
+            kernel = default_kernel_name()
+        else:
+            try:
+                get_kernel(kernel)  # unknown names fail here, not at compute
+            except KeyError as error:
+                raise ValueError(str(error))
+        return super().__new__(cls, workload, scale, organization, variant, kernel)
 
     def descriptor(self):
         """JSON-able identity for the persistent result store."""
@@ -56,6 +76,7 @@ class SimUnit(namedtuple("SimUnit", ("workload", "scale", "organization", "varia
             "kind": self.kind,
             "organization": self.organization,
             "variant": self.variant,
+            "kernel": self.kernel,
         }
 
     def slug(self):
@@ -152,7 +173,7 @@ def _unit_worker_init(broker):
 
 def _unit_worker_run(unit):
     workload = _WORKER_BROKER._workload_for(unit)
-    return _WORKER_BROKER._compute(unit, workload)
+    return _WORKER_BROKER._compute_timed(unit, workload)
 
 
 class ResultBroker:
@@ -169,21 +190,35 @@ class ResultBroker:
     * :attr:`disk_hits` — units loaded from the persistent store.
     """
 
-    def __init__(self, trace_store, result_store=None):
+    def __init__(self, trace_store, result_store=None, kernel=None):
         self.traces = trace_store
         self.store = result_store
+        #: Pipeline kernel this broker schedules with.  Session-scoped:
+        #: requests and run_units pin it on every SimUnit, so a broker
+        #: never mixes backends no matter what the process default is.
+        self.kernel = kernel if kernel is not None else default_kernel_name()
         self._memo = {}
         self._workloads = {}
         #: unit label -> count, mirroring TraceStore's counter style.
         self.sim_hits = {}
         self.sim_misses = {}
         self.disk_hits = {}
+        #: kernel name -> {"units", "seconds", "instructions"} for the
+        #: pipeline simulations this broker computed (including, via
+        #: run_units, ones computed inside its forked workers).
+        self.sim_seconds = {}
 
     # ------------------------------------------------------------- requests
 
-    def pipeline_result(self, workload, organization, scale=1, variant=None):
-        """Memoized ``simulate(organization, trace)`` for one workload."""
-        unit = SimUnit(workload.name, scale, organization, variant)
+    def pipeline_result(self, workload, organization, scale=1, variant=None,
+                        kernel=None):
+        """Memoized ``simulate(organization, trace)`` for one workload.
+
+        ``kernel`` defaults to the broker's own (session-scoped) kernel.
+        """
+        if kernel is None:
+            kernel = self.kernel
+        unit = SimUnit(workload.name, scale, organization, variant, kernel)
         return self._ensure(unit, workload)
 
     def activity_report(self, model, workload, scale=1):
@@ -219,10 +254,16 @@ class ResultBroker:
         in the parent; only genuinely pending units reach the pool.
         Results land in the in-memory memo, so the experiment runners
         that follow recompute nothing.
+
+        Simulation units are re-pinned to the broker's kernel: the
+        experiment specs build them without a session reference, so
+        this is where the session's ``--kernel`` choice takes effect.
         """
         pending = []
         seen = set()
         for unit in units:
+            if isinstance(unit, SimUnit) and unit.kernel != self.kernel:
+                unit = unit._replace(kernel=self.kernel)
             if unit in self._memo or unit in seen:
                 # Served by the memo (or by the pending compute below).
                 self._count(self.sim_hits, unit)
@@ -262,7 +303,16 @@ class ResultBroker:
             initializer=_unit_worker_init,
             initargs=(self,),
         ) as pool:
-            return pool.map(_unit_worker_run, pending, chunksize=1)
+            timed = pool.map(_unit_worker_run, pending, chunksize=1)
+        # Worker processes die with their counters; their measured sim
+        # times ride back alongside the results so the parent's
+        # per-kernel sim_seconds stays truthful under --jobs N.
+        results = []
+        for unit, (result, seconds) in zip(pending, timed):
+            if seconds is not None:
+                self._record_sim_time(unit.kernel, seconds, result.instructions)
+            results.append(result)
+        return results
 
     # -------------------------------------------------------------- internal
 
@@ -303,25 +353,53 @@ class ResultBroker:
         return result
 
     def _compute(self, unit, workload):
-        """Run one unit (no memo, no disk, no counters): pure compute."""
+        """Run one unit (no memo, no disk, no hit counters): pure compute.
+
+        Pipeline simulations book their wall time into
+        :attr:`sim_seconds` under their kernel name — the per-kernel
+        throughput counter the JSON report exposes.
+        """
+        result, seconds = self._compute_timed(unit, workload)
+        if seconds is not None:
+            self._record_sim_time(unit.kernel, seconds, result.instructions)
+        return result
+
+    def _compute_timed(self, unit, workload):
+        """``(result, sim seconds or None)`` for one unit, counter-free.
+
+        The timing travels with the result so forked unit workers can
+        report it back to the parent (their own counters die with the
+        pool); ``None`` marks the non-simulation unit kinds.
+        """
         records = self.traces.trace(workload, scale=unit.scale)
         if isinstance(unit, SimUnit):
             organization = get_organization(unit.organization)
-            if unit.variant == BIMODAL_VARIANT:
-                pipeline = InOrderPipeline(
-                    organization, predictor=BimodalPredictor()
-                )
-            else:
-                pipeline = InOrderPipeline(organization)
-            return pipeline.run(records)
+            predictor = (
+                BimodalPredictor() if unit.variant == BIMODAL_VARIANT else None
+            )
+            pipeline = InOrderPipeline(
+                organization, predictor=predictor, kernel=unit.kernel
+            )
+            started = time.perf_counter()
+            result = pipeline.run(records)
+            return result, time.perf_counter() - started
         if isinstance(unit, ActivityUnit):
-            return model_from_config(unit.config).process(
+            report = model_from_config(unit.config).process(
                 records, name=workload.name
             )
+            return report, None
         stats = FetchStatistics()
         for record in records:
             stats.record(record.instr)
-        return stats
+        return stats, None
+
+    def _record_sim_time(self, kernel, seconds, instructions):
+        timing = self.sim_seconds.setdefault(
+            kernel, {"units": 0, "seconds": 0.0, "instructions": 0}
+        )
+        timing["units"] += 1
+        timing["seconds"] += seconds
+        timing["instructions"] += instructions
 
     def _install(self, unit, workload, result):
         """Memoize a freshly computed result and write it back to disk."""
@@ -348,23 +426,23 @@ def _records(workload, scale, store):
 
 
 def resolve_pipeline_result(workload, scale, organization, store=None,
-                            variant=None):
+                            variant=None, kernel=None):
     """A (memoized, when possible) PipelineResult for one unit.
 
     With a broker-carrying store (``store.results``) the request goes
     through the unit scheduler; otherwise it simulates directly, exactly
-    as the pre-subsystem imperative call sites did.
+    as the pre-subsystem imperative call sites did.  ``kernel`` names a
+    simulation backend (default: the process-default kernel).
     """
     broker = getattr(store, "results", None) if store is not None else None
     if broker is not None:
         return broker.pipeline_result(
-            workload, organization, scale=scale, variant=variant
+            workload, organization, scale=scale, variant=variant, kernel=kernel
         )
     records = _records(workload, scale, store)
     org = get_organization(organization)
-    if variant == BIMODAL_VARIANT:
-        return InOrderPipeline(org, predictor=BimodalPredictor()).run(records)
-    return InOrderPipeline(org).run(records)
+    predictor = BimodalPredictor() if variant == BIMODAL_VARIANT else None
+    return InOrderPipeline(org, predictor=predictor, kernel=kernel).run(records)
 
 
 def resolve_activity_report(model, workload, scale, store=None):

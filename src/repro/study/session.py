@@ -163,7 +163,9 @@ class ExperimentSession:
     back in request order.
     """
 
-    def __init__(self, workloads=None, scale=1, store=None, cache_dir=None):
+    def __init__(self, workloads=None, scale=1, store=None, cache_dir=None,
+                 kernel=None):
+        from repro.pipeline.kernel import default_kernel_name
         from repro.study.scheduler import ResultBroker
 
         self.workloads = (
@@ -186,10 +188,28 @@ class ExperimentSession:
             raise ValueError("pass cache_dir or a store, not both")
         self.store = store
         if self.store.results is None:
-            self.store.results = ResultBroker(self.store, result_store)
+            self.store.results = ResultBroker(
+                self.store,
+                result_store,
+                kernel=kernel if kernel is not None else default_kernel_name(),
+            )
+        elif kernel is not None and self.store.results.kernel != kernel:
+            # A pre-built broker pins its own kernel; silently simulating
+            # under a different backend than the caller asked for is the
+            # cross-backend mixing the unit keys exist to prevent.
+            raise ValueError(
+                "store already carries a broker for kernel %r; "
+                "requested %r" % (self.store.results.kernel, kernel)
+            )
         #: The unit scheduler: memoizes per-(workload, organization)
         #: simulation/analysis results over this session's trace store.
         self.results = self.store.results
+        #: Name of the pipeline kernel this session simulates with.
+        #: Session-scoped, not process-global: the broker pins it on
+        #: every SimUnit it schedules, so two sessions in one process
+        #: can run different backends.  Resolving the default eagerly
+        #: also validates $REPRO_KERNEL before any trace work.
+        self.kernel = self.results.kernel
 
     # ------------------------------------------------------------ scheduling
 
@@ -380,8 +400,22 @@ class ExperimentSession:
             "trace_cache_dir": (
                 self.store.cache.root if self.store.cache is not None else None
             ),
+            "kernel": self.kernel,
             "sim_hits": dict(sorted(self.results.sim_hits.items())),
             "sim_misses": dict(sorted(self.results.sim_misses.items())),
+            "sim_timings": {
+                kernel: {
+                    "units": timing["units"],
+                    "seconds": round(timing["seconds"], 6),
+                    "instructions": timing["instructions"],
+                    "instructions_per_second": (
+                        round(timing["instructions"] / timing["seconds"], 1)
+                        if timing["seconds"]
+                        else None
+                    ),
+                }
+                for kernel, timing in sorted(self.results.sim_seconds.items())
+            },
             "result_disk_hits": dict(sorted(self.results.disk_hits.items())),
             "result_store_dir": (
                 self.results.store.root

@@ -5,16 +5,18 @@ improve: cold-cache runs (trace materialization dominates) vs warm-cache
 runs (analysis only), disk-warm runs (traces decoded from the
 significance-compressed persistent cache instead of simulated),
 analysis-warm runs (pipeline/activity results served from the
-persistent result store instead of recomputed), serial vs parallel
-scheduling of independent experiments over a shared, pre-materialized
-TraceStore, and raw simulation throughput per registered pipeline
-kernel (the reference-vs-tabular speedup lands in the benchmark JSON
-artifact).
+persistent result store instead of recomputed), decode throughput of
+the trace codec (full-list vs record-at-a-time streaming), the fused
+trace-walk studies cold vs warm, serial vs parallel scheduling of
+independent experiments over a shared, pre-materialized TraceStore,
+and raw simulation throughput per registered pipeline kernel (the
+reference-vs-tabular speedup lands in the benchmark JSON artifact).
 """
 
 import pytest
 
 from repro.pipeline import InOrderPipeline, get_organization, kernel_names
+from repro.sim import tracefile
 from repro.study.session import ExperimentSession, TraceStore
 from repro.study.trace_cache import TraceCache
 from repro.workloads import get_workload
@@ -132,6 +134,90 @@ def test_kernel_sim_throughput(benchmark, kernel):
     benchmark.extra_info["kernel"] = kernel
     benchmark.extra_info["instructions_per_round"] = instructions
     assert instructions > 0
+
+
+#: Experiments backed by walk units: the fused-streaming studies.
+WALK_IDS = ("table1", "table2", "ablation-schemes", "future-segmentation")
+
+
+def _trace_file(tmp_path):
+    """One persisted trace file (and its record count) for decode cases."""
+    records = get_workload(RUNNER_WORKLOADS[0]).trace()
+    path = str(tmp_path / "bench.trace")
+    tracefile.dump_trace(path, records)
+    return path, len(records)
+
+
+def test_decode_throughput_list(benchmark, tmp_path):
+    # Full-list decode: what every multi-pass consumer (the pipeline
+    # kernels) pays.  records/s = records_per_round / mean.
+    path, count = _trace_file(tmp_path)
+
+    def run():
+        records, _meta = tracefile.load_trace(path)
+        return len(records)
+
+    decoded = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["records_per_round"] = decoded
+    assert decoded == count
+
+
+def test_decode_throughput_stream(benchmark, tmp_path):
+    # Streaming decode: what the fused walk path pays — same records,
+    # no list, mmap-backed payload view.
+    path, count = _trace_file(tmp_path)
+
+    def run():
+        decoded = 0
+        for _record in tracefile.iter_records(path):
+            decoded += 1
+        return decoded
+
+    decoded = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["records_per_round"] = decoded
+    assert decoded == count
+
+
+def test_walk_studies_cold(benchmark, tmp_path):
+    # The fused cold path: traces persisted, walk results not — every
+    # round streams each trace once for all four walk studies combined.
+    ExperimentSession(
+        workloads=_workloads(), cache_dir=str(tmp_path / "seed")
+    ).prepare()
+
+    def run_cold():
+        workloads = _workloads()
+        for workload in workloads:
+            workload.clear_cache()
+        session = ExperimentSession(workloads=workloads, cache_dir=str(tmp_path / "seed"))
+        results = session.run(WALK_IDS)
+        assert session.store.materializations == {}
+        session.results.store.clear()  # next round walks cold again
+        return results
+
+    results = benchmark.pedantic(run_cold, rounds=3, iterations=1)
+    assert len(results) == len(WALK_IDS)
+
+
+def test_walk_studies_warm(benchmark, tmp_path):
+    # The fully warm path: walk payloads come from the result store;
+    # zero decodes, zero walks.
+    ExperimentSession(workloads=_workloads(), cache_dir=str(tmp_path)).run(
+        WALK_IDS
+    )
+
+    def run_warm():
+        workloads = _workloads()
+        for workload in workloads:
+            workload.clear_cache()
+        session = ExperimentSession(workloads=workloads, cache_dir=str(tmp_path))
+        results = session.run(WALK_IDS)
+        assert session.results.walk_misses == {}
+        assert session.store.decode_misses == {}
+        return results
+
+    results = benchmark.pedantic(run_warm, rounds=3, iterations=1)
+    assert len(results) == len(WALK_IDS)
 
 
 def test_runner_serial(benchmark):

@@ -10,7 +10,7 @@ Examples::
     repro all                       # every table and figure in sequence
     repro all --jobs 4              # same output, experiments in parallel
     repro all --format json         # machine-readable report
-    repro all --kernel tabular      # same output, fast simulation backend
+    repro all --kernel reference    # same output, oracle simulation backend
     repro all --cache-dir .cache    # persist traces + results across processes
     repro cache info                # trace-cache and result-store statistics
     repro cache clear               # drop every cached trace and result
@@ -93,7 +93,7 @@ def build_parser():
         default=None,
         help=(
             "pipeline simulation backend (default: $%s when set, else "
-            "'reference'); see 'repro list' for registered kernels" % ENV_KERNEL
+            "'tabular'); see 'repro list' for registered kernels" % ENV_KERNEL
         ),
     )
     _add_cache_dir_option(parser)

@@ -19,11 +19,12 @@ from repro.study.scheduler import (
     ActivityUnit,
     FetchUnit,
     SimUnit,
+    WalkUnit,
     activity_config,
     resolve_activity_report,
     resolve_pipeline_result,
+    resolve_walk_payload,
 )
-from repro.study.session import resolve_trace
 from repro.workloads import mediabench_suite
 
 #: Organizations the energy estimate compares (baseline32 implied).
@@ -43,6 +44,32 @@ PREDICTOR_ORGANIZATIONS = ("baseline32", "byte_serial", "parallel_skewed_bypass"
 BYTE_ACTIVITY = activity_config(BYTE_SCHEME)
 HALFWORD_ACTIVITY = activity_config(HALFWORD_SCHEME)
 BYTE_ACTIVITY_MEM = activity_config(BYTE_SCHEME, ext_bits_in_memory=True)
+
+#: Schemes the Section 2.1 storage ablation compares, in report order.
+ABLATION_SCHEMES = (TWO_BIT_SCHEME, BYTE_SCHEME, HALFWORD_SCHEME)
+
+#: Segmentations the Section 2.1 future-work ablation sweeps.
+SEGMENTATIONS = (
+    (8, 8, 8, 8),
+    (8, 4, 4, 16),
+    (4, 4, 8, 16),
+    (8, 8, 16),
+    (16, 16),
+    (8, 24),
+)
+
+#: Walker specs the trace-walking studies request (shared across
+#: experiments, so e.g. table1 and the scheme ablation fuse into the
+#: same pattern walk).  Built through the studies' own spec helpers so
+#: the units declared here and the payloads the runners request can
+#: never diverge.
+PATTERN_WALK = patterns_study.pattern_walk_spec()
+SCHEME_BITS_WALK = (
+    "scheme_bits",
+    tuple(scheme.name for scheme in ABLATION_SCHEMES),
+)
+SEGMENT_BITS_WALK = ("segment_bits", SEGMENTATIONS)
+PC_WALK = pc_study.pc_walk_spec()
 
 
 class ExperimentSpec:
@@ -129,6 +156,24 @@ def _fetch_units(workloads, scale):
     return [FetchUnit(workload.name, scale) for workload in workloads]
 
 
+def _walk_units(*specs):
+    """Builder: one WalkUnit per (workload, walker spec).
+
+    The session's broker fuses every pending walk unit for the same
+    trace into one streaming decode pass, so declaring several specs
+    (or sharing one across experiments) costs one decode, not several.
+    """
+
+    def build(workloads, scale):
+        return [
+            WalkUnit(workload.name, scale, spec)
+            for workload in workloads
+            for spec in specs
+        ]
+
+    return build
+
+
 def _energy_units(workloads, scale):
     """The energy estimate: every organization's CPI + byte activity."""
     units = _sim_units(("baseline32",) + ENERGY_ORGANIZATIONS)(workloads, scale)
@@ -179,20 +224,35 @@ def _run_bottleneck(workloads=None, scale=1, store=None):
     return text
 
 
+def _stored_bit_ratios(workloads, spec, scale, store):
+    """Per-scheme ``stored_bits / 32`` ratios from one stored-bits walk.
+
+    Suite totals are integer sums over the per-workload payloads, so the
+    ratios are bit-identical to the old concatenated-value-list
+    ``compression_ratio`` computation.
+    """
+    total_bits = None
+    total_values = 0
+    for workload in workloads:
+        payload = resolve_walk_payload(workload, spec, scale, store=store)
+        if total_bits is None:
+            total_bits = [0] * len(payload["bits"])
+        for index, bits in enumerate(payload["bits"]):
+            total_bits[index] += bits
+        total_values += payload["values"]
+    return [
+        bits / (32.0 * total_values) if total_values else 0.0
+        for bits in total_bits or ()
+    ]
+
+
 def _run_scheme_ablation(workloads=None, scale=1, store=None):
     """Ablation: 2-bit vs 3-bit extension scheme storage/coverage."""
+    workloads = workloads or mediabench_suite()
     counter = patterns_study.collect_pattern_counter(workloads, scale, store=store)
-    from repro.core.compress import compression_ratio
-
-    values = []
-    for workload in workloads or mediabench_suite():
-        for record in resolve_trace(workload, scale, store):
-            values.extend(record.read_values)
-            if record.write_value is not None:
-                values.append(record.write_value)
+    ratios = _stored_bit_ratios(workloads, SCHEME_BITS_WALK, scale, store)
     rows = []
-    for scheme in (TWO_BIT_SCHEME, BYTE_SCHEME, HALFWORD_SCHEME):
-        ratio = compression_ratio(values, scheme)
+    for scheme, ratio in zip(ABLATION_SCHEMES, ratios):
         rows.append(
             (
                 scheme.name,
@@ -374,25 +434,11 @@ def _run_segmentation_ablation(workloads=None, scale=1, store=None):
     """Future work (Section 2.1): non-uniform significance segments."""
     from repro.core.extension import SegmentedScheme
 
-    values = []
-    for workload in workloads or mediabench_suite():
-        for record in resolve_trace(workload, scale, store):
-            values.extend(record.read_values)
-            if record.write_value is not None:
-                values.append(record.write_value)
+    workloads = workloads or mediabench_suite()
+    ratios = _stored_bit_ratios(workloads, SEGMENT_BITS_WALK, scale, store)
     rows = []
-    segmentations = (
-        (8, 8, 8, 8),
-        (8, 4, 4, 16),
-        (4, 4, 8, 16),
-        (8, 8, 16),
-        (16, 16),
-        (8, 24),
-    )
-    for segments in segmentations:
+    for segments, ratio in zip(SEGMENTATIONS, ratios):
         scheme = SegmentedScheme(segments)
-        total_bits = sum(scheme.stored_bits(value) for value in values)
-        ratio = total_bits / (32.0 * len(values))
         rows.append(
             (
                 "/".join(str(s) for s in segments),
@@ -413,13 +459,14 @@ def _run_segmentation_ablation(workloads=None, scale=1, store=None):
 
 #: (id, description, runner, alias_of, units) — the declarative source
 #: of truth.  ``units`` names the fine-grained analysis units the runner
-#: requests; trace-walking studies (table1, table2, the value-level
-#: ablations) have none.
+#: requests; the trace-walking studies (table1, table2, the value-level
+#: ablations) declare walk units, which the session fuses into one
+#: streaming decode pass per trace.
 _SPEC_TABLE = (
     ("table1", "Table 1: significant-byte pattern frequencies", _run_table1,
-     None, None),
+     None, _walk_units(PATTERN_WALK)),
     ("table2", "Table 2: PC-update activity/latency vs block size", _run_table2,
-     None, None),
+     None, _walk_units(PC_WALK)),
     ("table3", "Table 3 + Section 2.3: instruction statistics", _run_table3,
      None, _fetch_units),
     ("fetchstats", "alias of table3", _run_table3, "table3", _fetch_units),
@@ -447,7 +494,7 @@ _SPEC_TABLE = (
         "Ablation: 2-bit vs 3-bit vs halfword schemes",
         _run_scheme_ablation,
         None,
-        None,
+        _walk_units(PATTERN_WALK, SCHEME_BITS_WALK),
     ),
     (
         "ablation-granularity",
@@ -468,7 +515,7 @@ _SPEC_TABLE = (
         "Future work: non-uniform significance segments (Section 2.1)",
         _run_segmentation_ablation,
         None,
-        None,
+        _walk_units(SEGMENT_BITS_WALK),
     ),
     (
         "energy",

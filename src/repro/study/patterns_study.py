@@ -7,7 +7,8 @@ ones the cheaper 2-bit scheme can express) cover ~94% of values.
 
 from repro.core.patterns import PatternCounter
 from repro.study.report import format_table, percent
-from repro.study.session import resolve_trace
+from repro.study.scheduler import resolve_walk_payload
+from repro.study.walkers import counter_from_payload
 from repro.workloads import mediabench_suite
 
 #: Paper Table 1 — (pattern, percent of operand values, cumulative).
@@ -23,15 +24,25 @@ PAPER_TABLE1 = (
 )
 
 
+def pattern_walk_spec(include_writes=True):
+    """The walker spec this study's per-workload counting runs as."""
+    return ("patterns", bool(include_writes))
+
+
 def collect_pattern_counter(workloads=None, scale=1, include_writes=True, store=None):
-    """Count patterns over all register operand values of the suite."""
+    """Count patterns over all register operand values of the suite.
+
+    Each workload's counts come from a :mod:`~repro.study.walkers`
+    pattern walker — memoized and fused with other pending walks when
+    ``store`` carries a result broker, a direct single streaming pass
+    otherwise — and merge in suite order, which reproduces the original
+    sequential walk exactly.
+    """
     counter = PatternCounter()
+    spec = pattern_walk_spec(include_writes)
     for workload in workloads or mediabench_suite():
-        for record in resolve_trace(workload, scale, store):
-            for value in record.read_values:
-                counter.record(value)
-            if include_writes and record.write_value is not None:
-                counter.record(record.write_value)
+        payload = resolve_walk_payload(workload, spec, scale, store=store)
+        counter.merge(counter_from_payload(payload))
     return counter
 
 

@@ -62,6 +62,11 @@ MAGIC = "SCRS"
 #: isa, sim) is covered separately by the toolchain fingerprint.
 _ENGINE_PACKAGES = ("repro.pipeline", "repro.core")
 
+#: Modules outside those packages that also shape stored payloads: the
+#: trace-walk reducers define the walk-unit payload layout and merge
+#: semantics, so editing a walker must invalidate its stored results.
+_ENGINE_MODULES = ("repro.study.walkers",)
+
 _engine_fingerprint = None
 
 
@@ -69,7 +74,9 @@ def engine_fingerprint():
     """Hex digest over every analysis-engine source file (computed once)."""
     global _engine_fingerprint
     if _engine_fingerprint is None:
-        _engine_fingerprint = fingerprint_sources(_ENGINE_PACKAGES)
+        _engine_fingerprint = fingerprint_sources(
+            _ENGINE_PACKAGES, _ENGINE_MODULES
+        )
     return _engine_fingerprint
 
 
@@ -214,7 +221,15 @@ class ResultStore:
             try:
                 with open(path, "r", encoding="utf-8") as handle:
                     document = json.load(handle)
-                kind = document["key"]["unit"]["kind"]
+                unit = document["key"]["unit"]
+                kind = unit["kind"]
+                if kind == "walk":
+                    # Walk entries bucket by walker kind, so cache info
+                    # shows what kind of scans are persisted
+                    # (walk:patterns, walk:pc, ...).
+                    walker = unit.get("walker")
+                    if isinstance(walker, list) and walker:
+                        kind = "walk:%s" % walker[0]
             except (OSError, ValueError, KeyError, TypeError):
                 unreadable += 1
                 continue

@@ -10,7 +10,10 @@ simulation, activity-model pass or fetch-statistics walk over one
 * :class:`ActivityUnit` — an :class:`~repro.pipeline.activity.ActivityModel`
   pass under a declarative configuration key;
 * :class:`FetchUnit` — Section 2.3 :class:`~repro.core.icompress.FetchStatistics`
-  over the instruction stream.
+  over the instruction stream;
+* :class:`WalkUnit` — one :class:`~repro.study.walkers.TraceWalker`
+  reduction (pattern counts, PC-stream activity, value-level ablation
+  scans) over the record stream.
 
 :class:`ResultBroker` executes units with a three-level fallthrough —
 in-memory memo → persistent :class:`~repro.study.result_store.ResultStore`
@@ -22,6 +25,13 @@ pending units out across forked workers, sharding *within* an
 experiment rather than only across experiments; because every unit is
 deterministic, study reports reassemble byte-identically regardless of
 scheduling.
+
+Walk units are special-cased for fusion: all pending walkers for the
+same ``(workload, scale)`` execute in **one** streaming decode pass
+(:meth:`~repro.study.session.TraceStore.stream`), so a cold ``repro
+all`` decodes each trace at most once for every walk study combined —
+and, when the trace is already in the persistent cache, never builds
+the full record list at all.
 """
 
 import multiprocessing
@@ -36,6 +46,15 @@ from repro.pipeline.base import InOrderPipeline, PipelineResult
 from repro.pipeline.kernel import default_kernel_name, get_kernel
 from repro.pipeline.organizations import get_organization
 from repro.pipeline.predictor import BimodalPredictor
+from repro.sim.tracefile import TraceCodecError
+from repro.study.walkers import (
+    build_walker,
+    unwrap_payload,
+    validate_spec,
+    spec_jsonable,
+    walker_slug,
+    wrap_payload,
+)
 
 #: The only recognised SimUnit variant besides None: a bimodal direction
 #: predictor with an ideal BTB attached to the pipeline.
@@ -127,6 +146,32 @@ class FetchUnit(namedtuple("FetchUnit", ("workload", "scale"))):
         return "%s@%d/fetch" % (self.workload, self.scale)
 
 
+class WalkUnit(namedtuple("WalkUnit", ("workload", "scale", "walker"))):
+    """One trace-walk reduction; ``walker`` is a spec tuple.
+
+    See :mod:`repro.study.walkers` for the spec vocabulary.  The spec
+    rides into the result-store descriptor, so payloads from different
+    walkers (or differently parameterized ones) never mix; the stored
+    payload itself carries a version + spec envelope as a second check.
+    """
+
+    __slots__ = ()
+    kind = "walk"
+
+    def __new__(cls, workload, scale, walker):
+        validate_spec(walker)  # unknown specs fail here, not at compute
+        return super().__new__(cls, workload, scale, walker)
+
+    def descriptor(self):
+        return {"kind": self.kind, "walker": spec_jsonable(self.walker)}
+
+    def slug(self):
+        return "walk-%s" % walker_slug(self.walker)
+
+    def label(self):
+        return "%s@%d/%s" % (self.workload, self.scale, self.slug())
+
+
 def activity_config(scheme=BYTE_SCHEME, ext_bits_in_memory=False):
     """The config key of a study-standard ActivityModel over ``scheme``.
 
@@ -156,14 +201,28 @@ def _result_from_payload(unit, payload):
             return PipelineResult.from_dict(payload)
         if isinstance(unit, ActivityUnit):
             return ActivityReport.from_dict(payload)
+        if isinstance(unit, WalkUnit):
+            return unwrap_payload(unit.walker, payload)
         return FetchStatistics.from_dict(payload)
     except (ValueError, TypeError):
         return None
 
 
 # Fork-inherited broker for the unit worker pool; per task only the unit
-# tuple travels.  A global keeps run_units reentrant across brokers.
+# tuple (or, for a fused walk group, a list of walk units) travels.  A
+# global keeps run_units reentrant across brokers.
 _WORKER_BROKER = None
+
+#: TraceStore counters a forked worker must report back to the parent:
+#: a walk group streaming inside a worker performs real decode work, and
+#: the worker's own counters die with the pool (sim timings ride back
+#: the same way, for the same reason).
+_TRACE_COUNTERS = (
+    "materializations",
+    "disk_hits",
+    "stream_hits",
+    "decode_misses",
+)
 
 
 def _unit_worker_init(broker):
@@ -171,9 +230,22 @@ def _unit_worker_init(broker):
     _WORKER_BROKER = broker
 
 
-def _unit_worker_run(unit):
-    workload = _WORKER_BROKER._workload_for(unit)
-    return _WORKER_BROKER._compute_timed(unit, workload)
+def _unit_worker_run(task):
+    traces = _WORKER_BROKER.traces
+    before = {
+        name: dict(getattr(traces, name)) for name in _TRACE_COUNTERS
+    }
+    result, seconds = _WORKER_BROKER._run_task(task)
+    deltas = {}
+    for name in _TRACE_COUNTERS:
+        delta = {
+            key: count - before[name].get(key, 0)
+            for key, count in getattr(traces, name).items()
+            if count != before[name].get(key, 0)
+        }
+        if delta:
+            deltas[name] = delta
+    return result, seconds, deltas
 
 
 class ResultBroker:
@@ -187,6 +259,8 @@ class ResultBroker:
     * :attr:`sim_misses` — units actually computed in this process (the
       acceptance criterion: a warm run reports an empty dict);
     * :attr:`sim_hits` — requests served from the in-memory memo;
+    * :attr:`walk_misses` / :attr:`walk_hits` — the same discipline for
+      trace-walk units (a warm run walks nothing);
     * :attr:`disk_hits` — units loaded from the persistent store.
     """
 
@@ -202,6 +276,8 @@ class ResultBroker:
         #: unit label -> count, mirroring TraceStore's counter style.
         self.sim_hits = {}
         self.sim_misses = {}
+        self.walk_hits = {}
+        self.walk_misses = {}
         self.disk_hits = {}
         #: kernel name -> {"units", "seconds", "instructions"} for the
         #: pipeline simulations this broker computed (including, via
@@ -240,6 +316,33 @@ class ResultBroker:
         unit = FetchUnit(workload.name, scale)
         return self._ensure(unit, workload)
 
+    def walk_payload(self, workload, spec, scale=1):
+        """Memoized payload of one trace walker over one workload."""
+        return self.walk_payloads(workload, (spec,), scale=scale)[0]
+
+    def walk_payloads(self, workload, specs, scale=1):
+        """Memoized payloads for several walkers, fused when pending.
+
+        Every spec's payload falls through memory → disk → compute like
+        any other unit, but all specs that do reach compute share a
+        single streaming pass over the trace — one decode no matter how
+        many walkers a study (or several studies, via :meth:`run_units`)
+        request.  Returns payload data dicts in spec order.
+        """
+        self._register(workload)
+        units = [WalkUnit(workload.name, scale, spec) for spec in specs]
+        pending = []
+        for unit in units:
+            if unit in self._memo:
+                self._count(self.walk_hits, unit)
+            elif self._load_from_disk(unit, workload) is None:
+                pending.append(unit)
+        if pending:
+            payloads = self._walk_group(workload, scale, pending)
+            for unit, payload in zip(pending, payloads):
+                self._install(unit, workload, payload)
+        return [self._memo[unit] for unit in units]
+
     # ------------------------------------------------------------ scheduling
 
     def run_units(self, units, workloads_by_name, jobs=1):
@@ -248,71 +351,121 @@ class ResultBroker:
 
         Duplicate requests — the same unit declared by several
         experiments, or already memoized — count as :attr:`sim_hits`
-        here in the parent, so the dedupe is visible in the JSON report
-        even when the runners later execute in forked workers (whose
-        process-local counters die with the pool).  Disk-warm units load
-        in the parent; only genuinely pending units reach the pool.
-        Results land in the in-memory memo, so the experiment runners
-        that follow recompute nothing.
+        (:attr:`walk_hits` for walk units) here in the parent, so the
+        dedupe is visible in the JSON report even when the runners later
+        execute in forked workers (whose process-local counters die with
+        the pool).  Disk-warm units load in the parent; only genuinely
+        pending units reach the pool.  Results land in the in-memory
+        memo, so the experiment runners that follow recompute nothing.
+
+        Pending walk units are fused: one streaming decode pass per
+        ``(workload, scale)`` feeds every walker for that trace, however
+        many experiments requested them.  Traces that pending units need
+        as full record lists are materialized here in the parent, exactly
+        once, so forked workers inherit them; a fully warm run therefore
+        touches no trace at all — zero decodes, zero walks.
 
         Simulation units are re-pinned to the broker's kernel: the
         experiment specs build them without a session reference, so
         this is where the session's ``--kernel`` choice takes effect.
         """
         pending = []
+        walk_groups = {}
         seen = set()
         for unit in units:
             if isinstance(unit, SimUnit) and unit.kernel != self.kernel:
                 unit = unit._replace(kernel=self.kernel)
             if unit in self._memo or unit in seen:
                 # Served by the memo (or by the pending compute below).
-                self._count(self.sim_hits, unit)
+                self._count(self._hit_counter(unit), unit)
                 continue
             seen.add(unit)
             workload = workloads_by_name[unit.workload]
             self._register(workload)
             if self._load_from_disk(unit, workload) is None:
-                pending.append(unit)
-        if jobs > 1 and len(pending) > 1:
-            results = self._compute_parallel(pending, jobs)
+                if isinstance(unit, WalkUnit):
+                    walk_groups.setdefault(
+                        (unit.workload, unit.scale), []
+                    ).append(unit)
+                else:
+                    pending.append(unit)
+        # Warm, in this process, every trace the pending computes need as
+        # a full list — forked workers then inherit the decoded records
+        # instead of each decoding (or worse, simulating) their own copy.
+        # Walk groups stream from the persistent cache when they can; a
+        # group without a streamable entry falls back to the same warm
+        # in-memory list.
+        warmed = set()
+        for unit in pending:
+            key = (unit.workload, unit.scale)
+            if key not in warmed:
+                warmed.add(key)
+                self.traces.trace(workloads_by_name[key[0]], scale=key[1])
+        for key in walk_groups:
+            if key not in warmed and not self.traces.streamable(
+                workloads_by_name[key[0]], scale=key[1]
+            ):
+                warmed.add(key)
+                self.traces.trace(workloads_by_name[key[0]], scale=key[1])
+        tasks = list(pending)
+        tasks.extend(walk_groups.values())
+        if jobs > 1 and len(tasks) > 1:
+            timed = self._compute_parallel(tasks, jobs)
         else:
-            results = [
-                self._compute(unit, workloads_by_name[unit.workload])
-                for unit in pending
-            ]
-        for unit, result in zip(pending, results):
-            self._install(unit, workloads_by_name[unit.workload], result)
-        return len(pending)
+            timed = [self._run_task(task) for task in tasks]
+        computed = 0
+        for task, (result, seconds) in zip(tasks, timed):
+            if isinstance(task, list):
+                workload = workloads_by_name[task[0].workload]
+                for unit, payload in zip(task, result):
+                    self._install(unit, workload, payload)
+                computed += len(task)
+            else:
+                if seconds is not None:
+                    self._record_sim_time(
+                        task.kernel, seconds, result.instructions
+                    )
+                self._install(task, workloads_by_name[task.workload], result)
+                computed += 1
+        return computed
 
-    def _compute_parallel(self, pending, jobs):
+    def _run_task(self, task):
+        """Compute one scheduling task: a unit, or a fused walk group."""
+        if isinstance(task, list):
+            first = task[0]
+            workload = self._workload_for(first)
+            return self._walk_group(workload, first.scale, task), None
+        return self._compute_timed(task, self._workload_for(task))
+
+    def _compute_parallel(self, tasks, jobs):
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # no fork on this platform: stay correct, serial
             print(
                 "repro: fork start method unavailable on this platform; "
                 "computing %d units serially despite --jobs %d"
-                % (len(pending), jobs),
+                % (len(tasks), jobs),
                 file=sys.stderr,
             )
-            return [
-                self._compute(unit, self._workload_for(unit))
-                for unit in pending
-            ]
+            return [self._run_task(task) for task in tasks]
         with context.Pool(
-            processes=min(jobs, len(pending)),
+            processes=min(jobs, len(tasks)),
             initializer=_unit_worker_init,
             initargs=(self,),
         ) as pool:
-            timed = pool.map(_unit_worker_run, pending, chunksize=1)
-        # Worker processes die with their counters; their measured sim
-        # times ride back alongside the results so the parent's
-        # per-kernel sim_seconds stays truthful under --jobs N.
-        results = []
-        for unit, (result, seconds) in zip(pending, timed):
-            if seconds is not None:
-                self._record_sim_time(unit.kernel, seconds, result.instructions)
-            results.append(result)
-        return results
+            # Worker processes die with their counters; measured sim
+            # times and trace-counter deltas (a walk group streaming in
+            # a worker is a real decode) ride back alongside the
+            # results so the parent's report stays truthful.
+            shipped = pool.map(_unit_worker_run, tasks, chunksize=1)
+        timed = []
+        for result, seconds, deltas in shipped:
+            for name, delta in deltas.items():
+                counters = getattr(self.traces, name)
+                for key, change in delta.items():
+                    counters[key] = counters.get(key, 0) + change
+            timed.append((result, seconds))
+        return timed
 
     # -------------------------------------------------------------- internal
 
@@ -326,10 +479,18 @@ class ResultBroker:
         label = unit.label()
         counters[label] = counters.get(label, 0) + 1
 
+    def _hit_counter(self, unit):
+        return self.walk_hits if isinstance(unit, WalkUnit) else self.sim_hits
+
+    def _miss_counter(self, unit):
+        return (
+            self.walk_misses if isinstance(unit, WalkUnit) else self.sim_misses
+        )
+
     def _ensure(self, unit, workload):
         self._register(workload)
         if unit in self._memo:
-            self._count(self.sim_hits, unit)
+            self._count(self._hit_counter(unit), unit)
             return self._memo[unit]
         result = self._load_from_disk(unit, workload)
         if result is not None:
@@ -363,6 +524,30 @@ class ResultBroker:
         if seconds is not None:
             self._record_sim_time(unit.kernel, seconds, result.instructions)
         return result
+
+    def _walk_group(self, workload, scale, units):
+        """Execute every walker in ``units`` over one streaming pass.
+
+        The record stream prefers the persistent cache's compressed file
+        (no full-list materialization); a damaged entry surfacing
+        mid-stream poisons the partially fed walkers, so they are all
+        rebuilt and re-fed from a freshly materialized trace (the
+        damaged cache entry was already removed by the stream's own
+        fail-closed handling).  Returns payload data dicts in unit order.
+        """
+        walkers = [build_walker(unit.walker) for unit in units]
+        try:
+            feeds = [walker.feed for walker in walkers]
+            for record in self.traces.stream(workload, scale=scale):
+                for feed in feeds:
+                    feed(record)
+        except TraceCodecError:
+            walkers = [build_walker(unit.walker) for unit in units]
+            feeds = [walker.feed for walker in walkers]
+            for record in self.traces.trace(workload, scale=scale):
+                for feed in feeds:
+                    feed(record)
+        return [walker.finish() for walker in walkers]
 
     def _compute_timed(self, unit, workload):
         """``(result, sim seconds or None)`` for one unit, counter-free.
@@ -404,14 +589,18 @@ class ResultBroker:
     def _install(self, unit, workload, result):
         """Memoize a freshly computed result and write it back to disk."""
         self._memo[unit] = result
-        self._count(self.sim_misses, unit)
+        self._count(self._miss_counter(unit), unit)
         if self.store is not None:
-            self.store.store(workload, unit, result.to_dict())
+            if isinstance(unit, WalkUnit):
+                payload = wrap_payload(unit.walker, result)
+            else:
+                payload = result.to_dict()
+            self.store.store(workload, unit, payload)
 
     def __repr__(self):
         return "ResultBroker(%d memoized, %d computed)" % (
             len(self._memo),
-            sum(self.sim_misses.values()),
+            sum(self.sim_misses.values()) + sum(self.walk_misses.values()),
         )
 
 
@@ -462,3 +651,32 @@ def resolve_fetch_statistics(workload, scale, store=None):
     for record in _records(workload, scale, store):
         stats.record(record.instr)
     return stats
+
+
+def resolve_walk_payload(workload, spec, scale, store=None):
+    """(Memoized, when possible) payload of one trace walker.
+
+    With a broker-carrying store the payload comes from the unit
+    scheduler (fused with other pending walkers, persisted); otherwise
+    a fresh walker streams the workload's records directly — still one
+    single pass, without materializing a record list when the store can
+    stream from disk.
+    """
+    broker = getattr(store, "results", None) if store is not None else None
+    if broker is not None:
+        return broker.walk_payload(workload, spec, scale=scale)
+    if store is None:
+        walker = build_walker(spec)
+        for record in workload.trace(scale=scale):
+            walker.feed(record)
+        return walker.finish()
+    walker = build_walker(spec)
+    try:
+        for record in store.stream(workload, scale=scale):
+            walker.feed(record)
+    except TraceCodecError:
+        # Damaged cache entry mid-stream: the partial state is poisoned.
+        walker = build_walker(spec)
+        for record in store.trace(workload, scale=scale):
+            walker.feed(record)
+    return walker.finish()

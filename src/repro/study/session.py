@@ -15,15 +15,21 @@ across processes and CI runs: a warm run simulates nothing.
 On top of the trace layer sits the unit scheduler
 (:mod:`repro.study.scheduler`): before any runner starts, the session
 collects each experiment's declared analysis units — one pipeline
-simulation, activity pass or fetch walk per ``(workload, scale)`` —
-dedupes them across experiments, and executes the pending ones through
-the session's :class:`~repro.study.scheduler.ResultBroker` (fanned out
-across forked workers under ``--jobs N``).  Shared units like the
-``baseline32`` simulation therefore run at most once per session, and
-with a warm persistent :class:`~repro.study.result_store.ResultStore`
-(same ``cache_dir``) not at all.
+simulation, activity pass, fetch walk or trace-walk reduction per
+``(workload, scale)`` — dedupes them across experiments, and executes
+the pending ones through the session's
+:class:`~repro.study.scheduler.ResultBroker` (fanned out across forked
+workers under ``--jobs N``).  Shared units like the ``baseline32``
+simulation therefore run at most once per session, and with a warm
+persistent :class:`~repro.study.result_store.ResultStore` (same
+``cache_dir``) not at all.
 
-Parallel execution forks workers *after* the stores are warm, so the
+Traces are resolved lazily, by the units that actually compute: the
+scheduler warms (in the parent, pre-fork) exactly the traces its
+pending units need, walk units stream records straight from the
+compressed cache files (:meth:`TraceStore.stream`), and a fully warm
+run touches no trace at all — zero decodes, zero simulations, zero
+walks.  Parallel execution forks workers *after* that warm-up, so the
 workers inherit the materialized traces and memoized results and
 nothing is computed twice; ``pool.map`` keeps results in submission
 order, making ``--jobs N`` output byte-identical to a serial run.
@@ -42,10 +48,19 @@ from collections import namedtuple
 from repro.workloads import mediabench_suite
 
 
-def resolve_trace(workload, scale=1, store=None):
-    """Trace records via the store when given, else the workload cache."""
+def resolve_trace(workload, scale=1, store=None, stream=False):
+    """Trace records via the store when given, else the workload cache.
+
+    ``stream=True`` returns a single-pass iterator instead of a list,
+    preferring the store's disk-streaming path (see
+    :meth:`TraceStore.stream`) so single-pass consumers never force the
+    full record list into memory.
+    """
     if store is None:
-        return workload.trace(scale=scale)
+        records = workload.trace(scale=scale)
+        return iter(records) if stream else records
+    if stream:
+        return store.stream(workload, scale=scale)
     return store.trace(workload, scale=scale)
 
 
@@ -78,10 +93,15 @@ class TraceStore:
         self.materializations = {}
         #: (workload name, scale) -> number of persistent-cache loads.
         self.disk_hits = {}
+        #: (workload name, scale) -> number of disk streaming passes.
+        self.stream_hits = {}
+        #: (workload name, scale) -> number of record-production events:
+        #: every simulation, full decode or streaming pass counts one;
+        #: serving the already in-memory list counts nothing.  A fully
+        #: warm ``repro all`` reports an empty dict — zero decodes.
+        self.decode_misses = {}
 
-    def trace(self, workload, scale=1):
-        """Trace records for ``workload`` at ``scale`` (materialized once)."""
-        key = (workload.name, scale)
+    def _claim(self, workload):
         owner = self._owners.get(workload.name)
         if owner is not None and owner is not workload:
             # Names are the cache identity; a second Workload object
@@ -91,7 +111,13 @@ class TraceStore:
                 % workload.name
             )
         self._owners[workload.name] = workload
+
+    def trace(self, workload, scale=1):
+        """Trace records for ``workload`` at ``scale`` (materialized once)."""
+        key = (workload.name, scale)
+        self._claim(workload)
         if key not in self._traces:
+            self.decode_misses[key] = self.decode_misses.get(key, 0) + 1
             records = None
             if self.cache is not None:
                 records = self.cache.load(workload, scale=scale)
@@ -106,6 +132,39 @@ class TraceStore:
                     self.cache.store(workload, scale, records)
             self._traces[key] = records
         return self._traces[key]
+
+    def stream(self, workload, scale=1):
+        """A single-pass record iterator, preferring disk streaming.
+
+        Fallthrough: an already materialized in-memory list is iterated
+        for free; otherwise a persistent-cache entry is streamed straight
+        from the compressed file — one decode pass, no list — and only
+        when neither exists does the store materialize the full trace
+        (via :meth:`trace`, so the usual counters and write-back apply).
+
+        A streamed pass can raise
+        :class:`~repro.sim.tracefile.TraceCodecError` mid-iteration on a
+        damaged cache entry (the entry is removed first); consumers
+        discard any partial state and retry via :meth:`trace`.
+        """
+        key = (workload.name, scale)
+        self._claim(workload)
+        records = self._traces.get(key)
+        if records is not None:
+            return iter(records)
+        if self.cache is not None:
+            stream = self.cache.stream(workload, scale=scale)
+            if stream is not None:
+                self.stream_hits[key] = self.stream_hits.get(key, 0) + 1
+                self.decode_misses[key] = self.decode_misses.get(key, 0) + 1
+                return stream
+        return iter(self.trace(workload, scale=scale))
+
+    def streamable(self, workload, scale=1):
+        """Whether :meth:`stream` can serve without materializing."""
+        if (workload.name, scale) in self._traces:
+            return True
+        return self.cache is not None and self.cache.has(workload, scale=scale)
 
     def times_materialized(self, name, scale=1):
         """How often the named trace was actually built (0 if never)."""
@@ -125,6 +184,8 @@ class TraceStore:
         self._owners.clear()
         self.materializations.clear()
         self.disk_hits.clear()
+        self.stream_hits.clear()
+        self.decode_misses.clear()
 
     def __len__(self):
         return len(self._traces)
@@ -158,9 +219,10 @@ class ExperimentSession:
     """Schedules experiments over a shared :class:`TraceStore`.
 
     ``run()`` resolves the requested experiment ids against the registry,
-    warms the store (each required trace exactly once), then executes the
-    specs serially or on a fork-based process pool.  Results always come
-    back in request order.
+    executes their deduped analysis units through the broker (which
+    warms exactly the traces its pending units need — each at most once;
+    a fully warm run touches none), then runs the specs serially or on a
+    fork-based process pool.  Results always come back in request order.
     """
 
     def __init__(self, workloads=None, scale=1, store=None, cache_dir=None,
@@ -307,7 +369,9 @@ class ExperimentSession:
         worker processes; the output is byte-identical to a serial run.
         """
         names = self._validate(names)
-        self.prepare(names)
+        # No eager trace warm-up: prepare_units resolves exactly the
+        # traces its pending units need (in this process, pre-fork), so
+        # a fully warm run touches no trace at all — zero decodes.
         self.prepare_units(names, jobs=jobs)
         if jobs > 1 and len(names) > 1:
             return self._run_parallel(names, jobs)
@@ -321,7 +385,6 @@ class ExperimentSession:
         whole batch.
         """
         names = self._validate(names)
-        self.prepare(names)
         self.prepare_units(names)
         for name in names:
             yield self.run_one(name)
@@ -397,12 +460,22 @@ class ExperimentSession:
                 "%s@%d" % key: count
                 for key, count in sorted(self.store.disk_hits.items())
             },
+            "trace_stream_hits": {
+                "%s@%d" % key: count
+                for key, count in sorted(self.store.stream_hits.items())
+            },
+            "decode_misses": {
+                "%s@%d" % key: count
+                for key, count in sorted(self.store.decode_misses.items())
+            },
             "trace_cache_dir": (
                 self.store.cache.root if self.store.cache is not None else None
             ),
             "kernel": self.kernel,
             "sim_hits": dict(sorted(self.results.sim_hits.items())),
             "sim_misses": dict(sorted(self.results.sim_misses.items())),
+            "walk_hits": dict(sorted(self.results.walk_hits.items())),
+            "walk_misses": dict(sorted(self.results.walk_misses.items())),
             "sim_timings": {
                 kernel: {
                     "units": timing["units"],

@@ -137,12 +137,14 @@ class TestKernelRegistry:
             get_kernel("systolic")
         assert "tabular" in str(excinfo.value)  # available names are listed
 
-    def test_default_is_reference(self):
-        assert default_kernel_name() == REFERENCE_KERNEL
+    def test_default_is_tabular(self):
+        # ROADMAP's "make tabular the default once soak-tested": the
+        # differential suite and the per-kernel CI legs are the soak.
+        assert default_kernel_name() == TABULAR_KERNEL
 
     def test_env_variable_selects_default(self, monkeypatch):
-        monkeypatch.setenv(ENV_KERNEL, TABULAR_KERNEL)
-        assert default_kernel_name() == TABULAR_KERNEL
+        monkeypatch.setenv(ENV_KERNEL, REFERENCE_KERNEL)
+        assert default_kernel_name() == REFERENCE_KERNEL
 
     def test_unknown_env_kernel_raises(self, monkeypatch):
         monkeypatch.setenv(ENV_KERNEL, "systolic")
@@ -150,11 +152,11 @@ class TestKernelRegistry:
             default_kernel_name()
 
     def test_set_default_kernel_beats_env(self, monkeypatch):
-        monkeypatch.setenv(ENV_KERNEL, REFERENCE_KERNEL)
-        set_default_kernel(TABULAR_KERNEL)
-        assert default_kernel_name() == TABULAR_KERNEL
-        set_default_kernel(None)
+        monkeypatch.setenv(ENV_KERNEL, TABULAR_KERNEL)
+        set_default_kernel(REFERENCE_KERNEL)
         assert default_kernel_name() == REFERENCE_KERNEL
+        set_default_kernel(None)
+        assert default_kernel_name() == TABULAR_KERNEL
 
     def test_set_default_kernel_rejects_unknown(self):
         with pytest.raises(ValueError):
@@ -210,10 +212,10 @@ class TestKernelRegistry:
 
 class TestKernelKeying:
     def test_simunit_defaults_to_process_kernel(self):
-        set_default_kernel(TABULAR_KERNEL)
-        assert SimUnit("w", 1, "baseline32").kernel == TABULAR_KERNEL
-        set_default_kernel(None)
+        set_default_kernel(REFERENCE_KERNEL)
         assert SimUnit("w", 1, "baseline32").kernel == REFERENCE_KERNEL
+        set_default_kernel(None)
+        assert SimUnit("w", 1, "baseline32").kernel == TABULAR_KERNEL
 
     def test_simunit_rejects_unknown_kernel(self):
         with pytest.raises(ValueError):
@@ -287,7 +289,8 @@ class TestKernelCli:
         assert "workloads:" in out
         assert "rawcaudio" in out
         assert "kernels:" in out
-        assert "reference (default)" in out
+        assert "tabular (default)" in out
+        assert "reference" in out
         assert "tabular" in out
 
     def test_list_json_is_machine_readable(self, capsys):
@@ -297,7 +300,7 @@ class TestKernelCli:
         assert payload["organizations"] == list(ORGANIZATION_NAMES)
         assert "synth_small" in payload["workloads"]
         assert set(payload["kernels"]) >= {REFERENCE_KERNEL, TABULAR_KERNEL}
-        assert payload["default_kernel"] == REFERENCE_KERNEL
+        assert payload["default_kernel"] == TABULAR_KERNEL
 
     def test_unknown_kernel_flag_exits_2(self, capsys):
         assert main(["fig4", "--kernel", "systolic"]) == 2
@@ -320,15 +323,15 @@ class TestKernelCli:
 
     def test_kernel_flag_is_session_scoped(self, capsys):
         # --kernel must not mutate the process default: a later bare
-        # session in the same process still simulates under 'reference'.
+        # session in the same process still simulates under 'tabular'.
         assert main(
-            ["fig4", "--workloads", "synth_small", "--kernel", TABULAR_KERNEL]
+            ["fig4", "--workloads", "synth_small", "--kernel", REFERENCE_KERNEL]
         ) == 0
         capsys.readouterr()
-        assert default_kernel_name() == REFERENCE_KERNEL
+        assert default_kernel_name() == TABULAR_KERNEL
         from repro.study.session import ExperimentSession
 
-        assert ExperimentSession(workloads=[]).kernel == REFERENCE_KERNEL
+        assert ExperimentSession(workloads=[]).kernel == TABULAR_KERNEL
 
     def test_jobs_run_still_reports_sim_timings(self, capsys):
         # Simulations run inside forked unit workers; their measured

@@ -302,10 +302,13 @@ class TestWarmSession:
         warm = json.loads(capsys.readouterr().out)
         assert sum(cold["trace_materializations"].values()) > 0
         assert sum(warm["trace_materializations"].values()) == 0
-        assert warm["trace_disk_hits"] == {
-            "synth_small@1": 1,
-            "synth_stride@1": 1,
-        }
+        # The warm run serves table1 from the persistent result store:
+        # the walk payloads are all it needs, so no trace is decoded —
+        # not even from the (warm) trace cache.
+        assert warm["trace_disk_hits"] == {}
+        assert warm["decode_misses"] == {}
+        assert warm["walk_misses"] == {}
+        assert sum(cold["walk_misses"].values()) > 0
         assert warm["trace_cache_dir"] == str(tmp_path)
         # The reports themselves are byte-identical cold vs warm.
         assert [e["text"] for e in warm["experiments"]] == [
@@ -365,9 +368,12 @@ class TestCacheCli:
         assert info["encoded_bytes"] < info["naive_bytes"]
 
     def test_clear_empties_the_cache(self, tmp_path, capsys):
+        # table1 persists one trace plus its pattern-walk result entry.
         self._populate(tmp_path, capsys)
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
-        assert "removed 1 cache entries" in capsys.readouterr().out
+        assert "removed 2 cache entries (1 traces, 1 results)" in (
+            capsys.readouterr().out
+        )
         assert TraceCache(tmp_path).info()["entries"] == 0
 
     def test_cache_without_directory_exits_2(self, capsys, monkeypatch):

@@ -136,6 +136,31 @@ def test_kernel_sim_throughput(benchmark, kernel):
     assert instructions > 0
 
 
+#: Workloads timed by the static-analyzer throughput case: the smallest
+#: and largest compiled programs bracket the CFG-size range.
+ANALYZER_BENCH_WORKLOADS = ("rawcaudio", "cjpeg")
+
+
+@pytest.mark.parametrize("workload_name", ANALYZER_BENCH_WORKLOADS)
+def test_analyzer_throughput(benchmark, workload_name):
+    # Instructions statically analyzed per second: one full pass (CFG +
+    # significance fixpoint + all lints) over the assembled program.
+    # rate = instructions / mean, from extra_info in the JSON artifact.
+    from repro.analysis import analyze_program
+
+    program = get_workload(workload_name).program()
+
+    def run():
+        return analyze_program(program)
+
+    summary = benchmark.pedantic(run, rounds=3, iterations=1)
+    instructions = summary["cfg"]["instructions"]
+    benchmark.extra_info["workload"] = workload_name
+    benchmark.extra_info["instructions_per_round"] = instructions
+    assert summary["lints"]["total"] == 0
+    assert instructions > 0
+
+
 #: Experiments backed by walk units: the fused-streaming studies.
 WALK_IDS = ("table1", "table2", "ablation-schemes", "future-segmentation")
 

@@ -1,0 +1,62 @@
+"""Static analysis over assembled programs: CFG, dataflow, significance.
+
+The paper's premise is that operand significance is highly predictable —
+most values need only their low-order byte(s) — but the repo measured it
+only *dynamically* (trace walks).  This package turns the observation
+into a checkable static prediction:
+
+* :mod:`repro.analysis.cfg` — basic-block control-flow graphs over
+  :class:`~repro.asm.program.Program`;
+* :mod:`repro.analysis.dataflow` — a small generic forward/backward
+  worklist fixpoint solver shared by every analysis;
+* :mod:`repro.analysis.significance` — an interval abstract domain per
+  register that bounds each operand's significant-byte count under the
+  extension-bit schemes of :mod:`repro.core.extension`;
+* :mod:`repro.analysis.lints` — liveness-based dead-write detection,
+  unreachable-block detection and use-before-def warnings;
+* :mod:`repro.analysis.driver` — the ``repro analyze`` summary payload
+  (versioned, result-store persistable);
+* :mod:`repro.analysis.crosscheck` — soundness validation of the static
+  bounds against dynamically observed values (a sound bound never
+  claims fewer significant bytes than a trace exhibits).
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, CFGError, build_cfg
+from repro.analysis.crosscheck import crosscheck_records, crosscheck_workload
+from repro.analysis.dataflow import DataflowAnalysis, solve
+from repro.analysis.driver import (
+    ANALYSIS_VERSION,
+    analyze_program,
+    analyze_workload,
+    unwrap_analysis_payload,
+    wrap_analysis_payload,
+)
+from repro.analysis.lints import Lint, lint_program, liveness, unreachable_blocks
+from repro.analysis.significance import (
+    SignificanceAnalysis,
+    operand_bounds,
+    significance_bounds,
+)
+
+__all__ = [
+    "ANALYSIS_VERSION",
+    "BasicBlock",
+    "CFG",
+    "CFGError",
+    "DataflowAnalysis",
+    "Lint",
+    "SignificanceAnalysis",
+    "analyze_program",
+    "analyze_workload",
+    "build_cfg",
+    "crosscheck_records",
+    "crosscheck_workload",
+    "lint_program",
+    "liveness",
+    "operand_bounds",
+    "significance_bounds",
+    "solve",
+    "unreachable_blocks",
+    "unwrap_analysis_payload",
+    "wrap_analysis_payload",
+]

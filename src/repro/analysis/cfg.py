@@ -1,0 +1,303 @@
+"""Basic-block control-flow graphs over assembled programs.
+
+A :class:`CFG` partitions the text segment of an
+:class:`~repro.asm.program.Program` into maximal straight-line
+:class:`BasicBlock` runs and connects them with successor/predecessor
+edges derived from the branch/jump semantics of
+:mod:`repro.isa.opcodes`:
+
+* conditional branches get a taken edge (PC-relative target) and a
+  fall-through edge;
+* ``j``/``jal`` get their absolute target (``jal``'s return happens
+  later, through the callee's ``jr``, so the call instruction itself has
+  no fall-through edge — flow re-enters the return site via the
+  indirect-jump edges below);
+* ``jr``/``jalr`` are indirect: the register could hold any code
+  address, so their successors conservatively cover every address a
+  register can acquire through control flow — the *return sites* (the
+  instruction after each ``jal``/``jalr``) and every direct call target
+  (for indirect calls through a register).  MiniC codegen only ever
+  emits ``jr $ra`` returns, but the over-approximation keeps every
+  dataflow analysis sound for hand-written assembly too.  A ``jr`` may
+  also leave the program entirely (jumping to the initial ``$ra`` of 0
+  halts the simulator), so indirect blocks are marked :attr:`~BasicBlock.exits`;
+* ``syscall`` falls through but may also exit (selector 10), so its
+  block is marked :attr:`~BasicBlock.exits` as well.
+
+The interpreter has no delay slots (branches redirect the PC
+immediately), so the block after a control instruction starts exactly at
+``pc + 4``.
+"""
+
+from repro.isa.encoding import DecodeError, decode
+from repro.isa.opcodes import Funct, InstrClass, Opcode
+
+
+class CFGError(ValueError):
+    """Raised when a program's text cannot be shaped into a CFG."""
+
+
+class BasicBlock:
+    """A maximal straight-line instruction run.
+
+    ``instructions`` are decoded :class:`~repro.isa.instruction.Instruction`
+    objects; the instruction at position ``i`` lives at ``start + 4*i``.
+    ``successors``/``predecessors`` are block indices into ``CFG.blocks``.
+    """
+
+    __slots__ = ("index", "start", "instructions", "successors",
+                 "predecessors", "exits")
+
+    def __init__(self, index, start, instructions):
+        self.index = index
+        self.start = start
+        self.instructions = instructions
+        self.successors = []
+        self.predecessors = []
+        #: True when control may leave the program from this block
+        #: (indirect jump to the halt sentinel, or an exit syscall).
+        self.exits = False
+
+    @property
+    def end(self):
+        """Address one past the last instruction."""
+        return self.start + 4 * len(self.instructions)
+
+    @property
+    def terminator(self):
+        """The last instruction (the only one that can redirect the PC)."""
+        return self.instructions[-1]
+
+    def addresses(self):
+        """The instruction addresses of this block, in order."""
+        return range(self.start, self.end, 4)
+
+    def __repr__(self):
+        return "BasicBlock(#%d 0x%08x..0x%08x)" % (
+            self.index, self.start, self.end - 4,
+        )
+
+
+class CFG:
+    """Blocks plus edges for one program's text segment."""
+
+    def __init__(self, program, blocks, instructions):
+        self.program = program
+        self.blocks = blocks
+        #: Flat decoded instruction list, index = (pc - text_base) // 4.
+        self.instructions = instructions
+        self._by_start = {block.start: block.index for block in blocks}
+        #: Block index containing the program entry point.
+        self.entry = self._by_start[program.entry]
+
+    @property
+    def text_base(self):
+        return self.program.text_base
+
+    def block_at(self, address):
+        """The block *starting* at ``address`` (KeyError otherwise)."""
+        return self.blocks[self._by_start[address]]
+
+    def block_of(self, address):
+        """The block *containing* ``address``."""
+        index = (address - self.text_base) // 4
+        if not 0 <= index < len(self.instructions):
+            raise CFGError("address 0x%08x outside text segment" % address)
+        block_index = self._block_of_instr[index]
+        return self.blocks[block_index]
+
+    def instruction_at(self, address):
+        """The decoded instruction at ``address``."""
+        return self.instructions[(address - self.text_base) // 4]
+
+    @property
+    def edge_count(self):
+        return sum(len(block.successors) for block in self.blocks)
+
+    def __len__(self):
+        return len(self.blocks)
+
+    def __repr__(self):
+        return "CFG(%d blocks, %d edges, %d instructions)" % (
+            len(self.blocks), self.edge_count, len(self.instructions),
+        )
+
+
+def _is_indirect(instr):
+    return instr.opcode == Opcode.SPECIAL and instr.funct in (
+        Funct.JR, Funct.JALR,
+    )
+
+
+def _is_call(instr):
+    return instr.opcode == Opcode.JAL or (
+        instr.opcode == Opcode.SPECIAL and instr.funct == Funct.JALR
+    )
+
+
+def _is_syscall(instr):
+    return instr.opcode == Opcode.SPECIAL and instr.funct == Funct.SYSCALL
+
+
+def build_cfg(program):
+    """Construct the :class:`CFG` of ``program``.
+
+    Raises :class:`CFGError` when the text contains undecodable words,
+    when a branch/jump targets an address outside the text segment, or
+    when the last instruction can fall off the end of the text.
+    """
+    base = program.text_base
+    instructions = []
+    for index, word in enumerate(program.text_words):
+        try:
+            instructions.append(decode(word))
+        except DecodeError as error:
+            raise CFGError(
+                "text word at 0x%08x is not an instruction: %s"
+                % (base + 4 * index, error)
+            )
+    if not instructions:
+        raise CFGError("program has no text")
+    count = len(instructions)
+
+    def index_of(address, source_pc, what):
+        if address % 4:
+            raise CFGError(
+                "%s of 0x%08x is unaligned: 0x%08x" % (what, source_pc, address)
+            )
+        index = (address - base) // 4
+        if not 0 <= index < count:
+            raise CFGError(
+                "%s of 0x%08x leaves the text segment: 0x%08x"
+                % (what, source_pc, address)
+            )
+        return index
+
+    # ----------------------------------------------------------- leaders
+    # A leader starts a block: the entry, every control-transfer target,
+    # and the instruction after any control instruction.  Indirect jumps
+    # can reach every return site and every direct call target.
+    entry_index = index_of(program.entry, program.entry, "entry")
+    leaders = {entry_index}
+    return_sites = set()
+    call_targets = set()
+    for index, instr in enumerate(instructions):
+        pc = base + 4 * index
+        iclass = instr.iclass
+        if iclass is InstrClass.BRANCH:
+            leaders.add(index_of(instr.branch_target(pc), pc, "branch target"))
+            if index + 1 < count:
+                leaders.add(index + 1)
+        elif iclass is InstrClass.JUMP:
+            if instr.is_j_format:
+                target = index_of(instr.jump_target(pc), pc, "jump target")
+                leaders.add(target)
+                if instr.opcode == Opcode.JAL:
+                    call_targets.add(target)
+            if _is_call(instr) or not instr.is_j_format:
+                # jal/jalr return later; jr falls nowhere, but whatever
+                # follows either is re-entered through indirect edges.
+                if index + 1 < count:
+                    leaders.add(index + 1)
+            if _is_call(instr) and index + 1 < count:
+                return_sites.add(index + 1)
+
+    indirect_targets = sorted(return_sites | call_targets)
+
+    # ------------------------------------------------------------ blocks
+    order = sorted(leaders)
+    blocks = []
+    block_of_instr = [0] * count
+    for position, leader in enumerate(order):
+        stop = order[position + 1] if position + 1 < len(order) else count
+        # Control instructions end a block even when the next leader is
+        # further away (an uncalled label after a jr, say).
+        end = leader
+        while end < stop:
+            end += 1
+            if instructions[end - 1].is_control:
+                break
+        block = BasicBlock(
+            len(blocks), base + 4 * leader, instructions[leader:end]
+        )
+        blocks.append(block)
+        for index in range(leader, end):
+            block_of_instr[index] = block.index
+        if end < stop:
+            # Dead instructions between a terminator and the next
+            # leader form their own (unreachable) block chain.
+            order.insert(position + 1, end)
+
+    by_start = {block.start: block.index for block in blocks}
+
+    def block_index_of_instr(index):
+        return block_of_instr[index]
+
+    # ------------------------------------------------------------- edges
+    for block in blocks:
+        last = block.terminator
+        last_pc = block.end - 4
+        last_index = (last_pc - base) // 4
+        successors = []
+        iclass = last.iclass
+        if iclass is InstrClass.BRANCH:
+            successors.append(
+                block_index_of_instr(
+                    index_of(last.branch_target(last_pc), last_pc, "branch target")
+                )
+            )
+            if last_index + 1 < count:
+                successors.append(block_index_of_instr(last_index + 1))
+            else:
+                raise CFGError(
+                    "branch at 0x%08x can fall off the end of text" % last_pc
+                )
+        elif iclass is InstrClass.JUMP:
+            if last.is_j_format:
+                successors.append(
+                    block_index_of_instr(
+                        index_of(last.jump_target(last_pc), last_pc, "jump target")
+                    )
+                )
+            else:
+                # jr/jalr: any return site or call target; may also halt.
+                successors.extend(
+                    block_index_of_instr(index) for index in indirect_targets
+                )
+                if _is_indirect(last) and last.funct == Funct.JALR:
+                    # jalr additionally reaches direct targets only; the
+                    # shared indirect_targets list already covers them.
+                    pass
+                block.exits = True
+        else:
+            if _is_syscall(last):
+                block.exits = True
+            if last_index + 1 < count:
+                successors.append(block_index_of_instr(last_index + 1))
+            else:
+                block.exits = True
+        seen = set()
+        for successor in successors:
+            if successor not in seen:
+                seen.add(successor)
+                block.successors.append(successor)
+                blocks[successor].predecessors.append(block.index)
+
+    cfg = CFG(program, blocks, instructions)
+    cfg._by_start = by_start
+    cfg._block_of_instr = block_of_instr
+    cfg.entry = by_start[program.entry]
+    return cfg
+
+
+def reachable_blocks(cfg):
+    """Indices of blocks reachable from the entry block."""
+    seen = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        block = cfg.blocks[stack.pop()]
+        for successor in block.successors:
+            if successor not in seen:
+                seen.add(successor)
+                stack.append(successor)
+    return seen

@@ -1,0 +1,147 @@
+"""Static-vs-dynamic significance soundness validation.
+
+A *sound* static bound must never claim fewer significant bytes than a
+dynamic execution exhibits.  :func:`crosscheck_records` replays a trace
+against the static :func:`~repro.analysis.significance.significance_bounds`
+and checks, value by value:
+
+* every executed instruction lies inside a statically-reachable block
+  (our CFG over-approximates control flow, so "executed but analyzed
+  unreachable" would be a CFG soundness bug);
+* every dynamically observed operand value — ``TraceRecord.read_values``
+  (aligned with ``Instruction.source_registers()``) and
+  ``TraceRecord.write_value`` — needs at most the statically bounded
+  byte count under each byte-granularity scheme;
+* the aggregate: total stored bits under the static bound is at least
+  the total the dynamic :class:`~repro.study.walkers.SchemeBitsWalker`
+  accumulates for the same scheme (the walker sums
+  ``scheme.stored_bits`` over exactly the same reads-then-write value
+  sequence, so ``dynamic_bits`` here is bit-identical to its payload).
+
+For coarser uniform block schemes the per-byte bound rounds up to the
+block width (:func:`scheme_bound_bytes`): a 3-byte-wide value occupies
+both halfwords of a ``block16`` word, and a value whose minimal
+sign-extended width fits ``w`` bytes can never need more than
+``ceil(w / block_bytes)`` blocks.
+"""
+
+from repro.analysis.significance import operand_bounds
+from repro.core.extension import SCHEMES
+
+#: Schemes validated by default: the byte-granularity pair whose
+#: significant-byte counts the interval domain bounds directly.
+DEFAULT_SCHEMES = ("byte2", "byte3")
+
+#: Cap on individual violations carried in a report (totals are exact).
+MAX_VIOLATIONS = 20
+
+
+def scheme_bound_bytes(bound_bytes, scheme):
+    """Static byte bound adapted to a scheme's block granularity."""
+    block_bytes = scheme.block_bits // 8
+    if block_bytes <= 1:
+        return bound_bytes
+    blocks = -(-bound_bytes // block_bytes)  # ceil division
+    return blocks * block_bytes
+
+
+def crosscheck_records(bounds, records, scheme_names=DEFAULT_SCHEMES):
+    """Validate static ``bounds`` against executed ``records``.
+
+    Returns a JSON-able report; ``report["ok"]`` is True iff no
+    violation of any kind occurred.  Individual violations beyond
+    :data:`MAX_VIOLATIONS` are counted but not listed.
+    """
+    schemes = [SCHEMES[name] for name in scheme_names]
+    static_bits = [0] * len(schemes)
+    dynamic_bits = [0] * len(schemes)
+    violations = []
+    violation_count = 0
+    values_checked = 0
+    # Operand values repeat heavily (the paper's own premise); memoize
+    # the per-scheme dynamic byte counts per distinct value.
+    dynamic_memo = {}
+
+    def record_violation(kind, pc, **detail):
+        nonlocal violation_count
+        violation_count += 1
+        if len(violations) < MAX_VIOLATIONS:
+            entry = {"kind": kind, "pc": "0x%08x" % pc}
+            entry.update(detail)
+            violations.append(entry)
+
+    def check_value(pc, operand, value, bound_bytes):
+        nonlocal values_checked
+        values_checked += 1
+        entry = dynamic_memo.get(value)
+        if entry is None:
+            entry = tuple(
+                scheme.significant_bytes(value) for scheme in schemes
+            )
+            dynamic_memo[value] = entry
+        for index, scheme in enumerate(schemes):
+            dynamic = entry[index]
+            static = scheme_bound_bytes(bound_bytes, scheme)
+            dynamic_bits[index] += dynamic * 8 + scheme.num_ext_bits
+            static_bits[index] += static * 8 + scheme.num_ext_bits
+            if dynamic > static:
+                record_violation(
+                    "bound", pc,
+                    operand=operand,
+                    scheme=scheme.name,
+                    value="0x%08x" % value,
+                    dynamic_bytes=dynamic,
+                    static_bytes=static,
+                )
+
+    for record in records:
+        bound = bounds.get(record.pc)
+        if bound is None:
+            record_violation("unanalyzed", record.pc)
+            continue
+        reads = record.read_values
+        if len(reads) != len(bound.read_bytes):
+            record_violation(
+                "operand-shape", record.pc,
+                dynamic_reads=len(reads),
+                static_reads=len(bound.read_bytes),
+            )
+            continue
+        for index, value in enumerate(reads):
+            check_value(
+                record.pc, "read%d" % index, value, bound.read_bytes[index]
+            )
+        if record.write_value is not None:
+            if bound.write_bytes is None:
+                record_violation("missing-write-bound", record.pc)
+            else:
+                check_value(
+                    record.pc, "write", record.write_value, bound.write_bytes
+                )
+
+    return {
+        "schemes": list(scheme_names),
+        "records": len(records),
+        "values_checked": values_checked,
+        "violations": violation_count,
+        "violation_samples": violations,
+        "static_bits": list(static_bits),
+        "dynamic_bits": list(dynamic_bits),
+        "slack": [
+            (static - dynamic) / dynamic if dynamic else 0.0
+            for static, dynamic in zip(static_bits, dynamic_bits)
+        ],
+        "ok": violation_count == 0,
+    }
+
+
+def crosscheck_workload(
+    workload, scale=1, scheme_names=DEFAULT_SCHEMES, trace_cache=None
+):
+    """Cross-check one workload: static bounds vs its executed trace."""
+    bounds = operand_bounds(workload.program(scale))
+    records = workload.trace(scale, trace_cache=trace_cache)
+    report = crosscheck_records(bounds, records, scheme_names=scheme_names)
+    report["workload"] = workload.name
+    report["scale"] = scale
+    return report

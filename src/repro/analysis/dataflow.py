@@ -1,0 +1,123 @@
+"""Generic forward/backward dataflow fixpoint solver.
+
+One small worklist engine serves every analysis in the package: the
+significance interval propagation (forward, with widening), liveness
+(backward, sets) and definite-uninitialized tracking (forward, sets).
+An analysis subclasses :class:`DataflowAnalysis` and provides lattice
+operations; :func:`solve` iterates block transfer functions over the
+CFG until nothing changes.
+
+The solver guarantees termination for any *monotone* transfer function
+over a finite-height lattice; analyses over infinite-height domains
+(intervals) supply a :meth:`~DataflowAnalysis.widen` that jumps growing
+values to a finite threshold chain.
+"""
+
+
+class DataflowAnalysis:
+    """Lattice + transfer functions of one dataflow problem.
+
+    ``direction`` is ``"forward"`` (states flow entry -> exit; the block
+    input joins predecessor outputs) or ``"backward"`` (the block input
+    joins successor outputs).  States are immutable values; ``None`` is
+    the universal bottom meaning "no path reaches here yet" and is
+    absorbed by the solver before :meth:`join` is called.
+    """
+
+    direction = "forward"
+
+    def boundary(self, cfg):
+        """State at the entry block (forward) / exit edges (backward)."""
+        raise NotImplementedError
+
+    def join(self, a, b):
+        """Least upper bound of two non-``None`` states."""
+        raise NotImplementedError
+
+    def transfer(self, block, state):
+        """State after executing ``block`` starting from ``state``."""
+        raise NotImplementedError
+
+    def edge_state(self, block, successor, state):
+        """State propagated along the ``block -> successor`` edge.
+
+        Defaults to the block's output state; the significance analysis
+        overrides it to refine intervals with branch conditions.  Only
+        meaningful for forward analyses.
+        """
+        return state
+
+    def widen(self, old, new):
+        """Accelerated join applied when a block's input grows.
+
+        The default (return ``new``) is correct for finite lattices;
+        infinite-height domains must override to force convergence.
+        """
+        return new
+
+
+def solve(cfg, analysis):
+    """Run ``analysis`` to fixpoint; returns ``{block index: (in, out)}``.
+
+    Unreached blocks keep ``(None, None)`` — for a forward analysis that
+    is exactly the unreachable-code information.
+    """
+    forward = analysis.direction == "forward"
+    blocks = cfg.blocks
+    in_states = {block.index: None for block in blocks}
+    out_states = {block.index: None for block in blocks}
+
+    if forward:
+        in_states[cfg.entry] = analysis.boundary(cfg)
+        worklist = [cfg.entry]
+    else:
+        # Every block that can leave the program (or dangle edge-less)
+        # seeds the backward analysis with the boundary state.
+        boundary = analysis.boundary(cfg)
+        worklist = []
+        for block in blocks:
+            if block.exits or not block.successors:
+                in_states[block.index] = boundary
+                worklist.append(block.index)
+        if not worklist:
+            # Fully cyclic graphs still need a seed to make progress.
+            in_states[cfg.entry] = boundary
+            worklist.append(cfg.entry)
+
+    pending = set(worklist)
+    while worklist:
+        index = worklist.pop()
+        pending.discard(index)
+        block = blocks[index]
+        state = in_states[index]
+        if state is None:
+            continue
+        out = analysis.transfer(block, state)
+        if out == out_states[index]:
+            continue
+        out_states[index] = out
+        targets = block.successors if forward else block.predecessors
+        for target in targets:
+            flowed = (
+                analysis.edge_state(block, target, out) if forward else out
+            )
+            if flowed is None:
+                # The analysis proved this edge infeasible (an interval
+                # refinement became empty): nothing flows along it.
+                continue
+            current = in_states[target]
+            if current is None:
+                merged = flowed
+            else:
+                merged = analysis.join(current, flowed)
+                if merged != current:
+                    merged = analysis.widen(current, merged)
+            if merged != in_states[target]:
+                in_states[target] = merged
+                if target not in pending:
+                    pending.add(target)
+                    worklist.append(target)
+    return {
+        block.index: (in_states[block.index], out_states[block.index])
+        for block in blocks
+    }

@@ -1,0 +1,128 @@
+"""The ``repro analyze`` summary: one JSON-able payload per program.
+
+:func:`analyze_program` bundles the whole static pipeline — CFG
+construction, significance bounds, lints — into a deterministic summary
+dict shaped for the result store and the CLI.  Payloads persist under a
+version envelope exactly like trace-walk payloads
+(:func:`repro.study.walkers.wrap_payload`): bump
+:data:`ANALYSIS_VERSION` whenever the summary layout changes and stored
+payloads from other versions fail closed (the analysis recomputes).
+"""
+
+from repro.analysis.cfg import build_cfg, reachable_blocks
+from repro.analysis.lints import lint_cfg
+from repro.analysis.significance import significance_bounds
+
+#: Bumped whenever the summary payload layout changes.
+ANALYSIS_VERSION = 1
+
+
+def wrap_analysis_payload(data):
+    """The on-disk envelope of one analysis summary (versioned)."""
+    return {"version": ANALYSIS_VERSION, "kind": "analysis", "data": data}
+
+
+def unwrap_analysis_payload(payload):
+    """Validate a stored envelope; returns the summary dict.
+
+    Raises ``ValueError`` on version skew or a malformed envelope — the
+    caller treats both as a cache miss.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("analysis payload is not an object")
+    if payload.get("version") != ANALYSIS_VERSION:
+        raise ValueError(
+            "analysis payload version %r != supported %d"
+            % (payload.get("version"), ANALYSIS_VERSION)
+        )
+    if payload.get("kind") != "analysis":
+        raise ValueError("payload is not an analysis summary")
+    data = payload.get("data")
+    if not isinstance(data, dict):
+        raise ValueError("analysis payload carries no data object")
+    return data
+
+
+def _lint_jsonable(lint):
+    return {
+        "severity": lint.severity,
+        "kind": lint.kind,
+        "pc": "0x%08x" % lint.pc,
+        "register": lint.register,
+        "message": lint.message,
+    }
+
+
+def analyze_program(program):
+    """Full static summary of one assembled program.
+
+    Returns a JSON-able dict with three sections: ``cfg`` (shape),
+    ``significance`` (static operand-byte bound histograms over the
+    reachable instructions) and ``lints`` (dead writes, unreachable
+    blocks, use-before-def).
+    """
+    cfg = build_cfg(program)
+    reachable = reachable_blocks(cfg)
+    reachable_instructions = sum(
+        len(cfg.blocks[index].instructions) for index in reachable
+    )
+
+    bounds = significance_bounds(cfg)
+    read_histogram = {1: 0, 2: 0, 3: 0, 4: 0}
+    write_histogram = {1: 0, 2: 0, 3: 0, 4: 0}
+    read_total = write_total = 0
+    for bound in bounds.values():
+        for byte_count in bound.read_bytes:
+            read_histogram[byte_count] += 1
+            read_total += byte_count
+        if bound.write_bytes is not None:
+            write_histogram[bound.write_bytes] += 1
+            write_total += bound.write_bytes
+    read_operands = sum(read_histogram.values())
+    write_operands = sum(write_histogram.values())
+    operand_total = read_total + write_total
+    operand_count = read_operands + write_operands
+
+    lints = lint_cfg(cfg)
+    by_kind = {}
+    for lint in lints:
+        by_kind[lint.kind] = by_kind.get(lint.kind, 0) + 1
+
+    return {
+        "cfg": {
+            "blocks": len(cfg.blocks),
+            "edges": cfg.edge_count,
+            "instructions": len(cfg.instructions),
+            "reachable_blocks": len(reachable),
+            "reachable_instructions": reachable_instructions,
+        },
+        "significance": {
+            "instructions_bounded": len(bounds),
+            "read_operands": read_operands,
+            "write_operands": write_operands,
+            "read_histogram": {str(k): v for k, v in read_histogram.items()},
+            "write_histogram": {str(k): v for k, v in write_histogram.items()},
+            "mean_read_bytes": (
+                read_total / read_operands if read_operands else 0.0
+            ),
+            "mean_write_bytes": (
+                write_total / write_operands if write_operands else 0.0
+            ),
+            "mean_operand_bytes": (
+                operand_total / operand_count if operand_count else 0.0
+            ),
+        },
+        "lints": {
+            "total": len(lints),
+            "by_kind": dict(sorted(by_kind.items())),
+            "findings": [_lint_jsonable(lint) for lint in lints],
+        },
+    }
+
+
+def analyze_workload(workload, scale=1):
+    """Analyze one workload's compiled program at ``scale``."""
+    summary = analyze_program(workload.program(scale))
+    summary["workload"] = workload.name
+    summary["scale"] = scale
+    return summary

@@ -1,0 +1,223 @@
+"""Dataflow-backed lints over assembled programs.
+
+Three checks, all built on the shared solver in
+:mod:`repro.analysis.dataflow`:
+
+* **unreachable blocks** — basic blocks no CFG path from the entry can
+  reach.  The CFG's indirect-jump edges over-approximate real control
+  flow, so anything flagged here is genuinely dead (an uncalled
+  function, instructions stranded after a ``jr``);
+* **dead writes** — liveness (backward set analysis) finds register
+  writes whose value no path can read before it is overwritten;
+* **use before def** — a forward *definitely-uninitialized* analysis
+  (intersection join: a register must be unwritten along **every**
+  path to count) flags reads of registers no code ever set.  ``$zero``,
+  ``$sp`` and ``$ra`` are excluded — the machine boots them with
+  meaningful values (0, :data:`~repro.asm.program.STACK_TOP`, and the
+  halt sentinel respectively).
+
+``syscall`` reads ``$v0`` (the selector) and ``$a0`` (the argument)
+through the machine directly rather than through instruction operand
+fields, so both lints treat it as a reader of registers 2 and 4 —
+without that, the ``li $v0, 10`` before every exit syscall would be a
+false dead write.
+"""
+
+from collections import namedtuple
+
+from repro.analysis.cfg import build_cfg, reachable_blocks
+from repro.analysis.dataflow import DataflowAnalysis, solve
+from repro.isa.opcodes import Funct, Opcode
+
+#: One lint finding.  ``pc`` is an instruction address (block start for
+#: block-level findings); ``register`` is the offending register or None.
+Lint = namedtuple("Lint", ("severity", "kind", "pc", "register", "message"))
+
+#: Registers syscall reads behind the machine's back ($v0 selector, $a0 arg).
+SYSCALL_READS = (2, 4)
+
+#: Register carrying a function's return value per the calling
+#: convention: a ``jr`` is (in compiled code) a return, and the caller
+#: may read ``$v0`` after it, so liveness must treat the jump as a
+#: reader — otherwise ``main``'s ``return`` value is a false dead write
+#: whenever no call site happens to use a result.
+RETURN_VALUE_READS = (2,)
+
+#: Registers with meaningful boot values — never "uninitialized".
+BOOT_DEFINED = frozenset((0, 29, 31))
+
+
+def _is_syscall(instr):
+    return instr.opcode == Opcode.SPECIAL and instr.funct == Funct.SYSCALL
+
+
+def _is_return(instr):
+    return instr.opcode == Opcode.SPECIAL and instr.funct == Funct.JR
+
+
+def _reads(instr, abi_returns=True):
+    """Registers ``instr`` may observe.
+
+    ``abi_returns`` adds the convention-level ``$v0`` read at a ``jr``
+    — wanted by liveness (a return value is not dead), unwanted by
+    use-before-def (a value-less return leaves ``$v0`` legitimately
+    unwritten).
+    """
+    regs = instr.source_registers()
+    if _is_syscall(instr):
+        return regs + SYSCALL_READS
+    if abi_returns and _is_return(instr):
+        return regs + RETURN_VALUE_READS
+    return regs
+
+
+# -------------------------------------------------------------- liveness
+
+
+class LivenessAnalysis(DataflowAnalysis):
+    """Backward may-live register sets."""
+
+    direction = "backward"
+
+    def boundary(self, cfg):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, block, live_out):
+        live = set(live_out)
+        for instr in reversed(block.instructions):
+            dest = instr.destination_register()
+            if dest is not None:
+                live.discard(dest)
+            live.update(_reads(instr))
+        return frozenset(live)
+
+
+def liveness(cfg):
+    """Per-block liveness: ``{block index: (live_in, live_out)}``.
+
+    Blocks from which no program exit is reachable (only possible in
+    non-terminating code) report ``None`` for both sets — the analysis
+    proves nothing about them.
+    """
+    states = solve(cfg, LivenessAnalysis())
+    result = {}
+    for block in cfg.blocks:
+        live_out, live_in = states[block.index]
+        result[block.index] = (live_in, live_out)
+    return result
+
+
+def dead_writes(cfg, live=None):
+    """Register writes no path can observe.
+
+    Threads the block-level live-out backwards through each block to get
+    per-instruction liveness.  Writes to ``$zero`` are architectural
+    no-ops (deliberate nops), not lint findings.
+    """
+    if live is None:
+        live = liveness(cfg)
+    findings = []
+    for block in cfg.blocks:
+        live_out = live[block.index][1]
+        if live_out is None:
+            continue  # liveness proven nothing; make no claims
+        current = set(live_out)
+        for offset in range(len(block.instructions) - 1, -1, -1):
+            instr = block.instructions[offset]
+            dest = instr.destination_register()
+            if dest is not None and dest not in current:
+                findings.append(Lint(
+                    "warning", "dead-write", block.start + 4 * offset, dest,
+                    "write to $%d is never read" % dest,
+                ))
+            if dest is not None:
+                current.discard(dest)
+            current.update(_reads(instr))
+    findings.sort(key=lambda lint: lint.pc)
+    return findings
+
+
+# ---------------------------------------------------------- reachability
+
+
+def unreachable_blocks(cfg):
+    """Lints for blocks the entry cannot reach."""
+    reachable = reachable_blocks(cfg)
+    return [
+        Lint(
+            "warning", "unreachable", block.start, None,
+            "block #%d (%d instructions) is unreachable from the entry"
+            % (block.index, len(block.instructions)),
+        )
+        for block in cfg.blocks
+        if block.index not in reachable
+    ]
+
+
+# -------------------------------------------------------- use before def
+
+
+class UninitializedAnalysis(DataflowAnalysis):
+    """Forward definitely-uninitialized register sets."""
+
+    direction = "forward"
+
+    def boundary(self, cfg):
+        return frozenset(range(1, 32)) - BOOT_DEFINED
+
+    def join(self, a, b):
+        # A register is definitely uninitialized only if it is along
+        # every incoming path.
+        return a & b
+
+    def transfer(self, block, uninitialized):
+        state = set(uninitialized)
+        for instr in block.instructions:
+            dest = instr.destination_register()
+            if dest is not None:
+                state.discard(dest)
+        return frozenset(state)
+
+
+def use_before_def(cfg):
+    """Reads of registers that no path from the entry has written."""
+    states = solve(cfg, UninitializedAnalysis())
+    findings = []
+    for block in cfg.blocks:
+        uninitialized = states[block.index][0]
+        if uninitialized is None:
+            continue
+        state = set(uninitialized)
+        pc = block.start
+        for instr in block.instructions:
+            for reg in _reads(instr, abi_returns=False):
+                if reg in state:
+                    findings.append(Lint(
+                        "warning", "use-before-def", pc, reg,
+                        "$%d is read but never written on any path here"
+                        % reg,
+                    ))
+            dest = instr.destination_register()
+            if dest is not None:
+                state.discard(dest)
+            pc += 4
+    findings.sort(key=lambda lint: lint.pc)
+    return findings
+
+
+# ---------------------------------------------------------------- driver
+
+
+def lint_cfg(cfg):
+    """All lints over an already-built CFG, sorted by address."""
+    findings = unreachable_blocks(cfg) + dead_writes(cfg) + use_before_def(cfg)
+    findings.sort(key=lambda lint: (lint.pc, lint.kind))
+    return findings
+
+
+def lint_program(program):
+    """Build the CFG of ``program`` and run every lint."""
+    return lint_cfg(build_cfg(program))

@@ -1,0 +1,605 @@
+"""Static significance bounds via interval abstract interpretation.
+
+Each register is abstracted by a *signed 32-bit interval* ``(lo, hi)``;
+an instruction's operand significance is then bounded by the widest
+sign-extended byte count any value in the interval can need.  The
+transfer functions mirror :class:`~repro.sim.interpreter.Interpreter`
+handler-for-handler, so the static bound is sound with respect to the
+dynamic machine: for every value the interpreter ever reads or writes
+at an instruction, ``scheme.significant_bytes(value)`` under the
+byte-granularity schemes of :mod:`repro.core.extension` is at most the
+static bound (``byte2`` counts exactly the minimal sign-extended byte
+width; ``byte3`` can only store fewer bytes than ``byte2``).
+
+Key design points:
+
+* the interval endpoints live in signed space (``-2**31 .. 2**31-1``)
+  because significance is a function of sign-extension, which is a
+  signed notion; values from the machine (u32) are converted on entry;
+* any operation that may wrap modulo ``2**32`` collapses to TOP — the
+  set of post-wrap values is disjoint, and TOP costs only precision;
+* loops make the domain infinite-height, so :meth:`SignificanceAnalysis.widen`
+  jumps growing endpoints outward to the nearest *byte-boundary
+  threshold* (±2**7, ±2**15, ±2**23, ...).  That both forces
+  convergence (each endpoint can move at most ~10 times) and preserves
+  exactly the precision significance cares about: a loop counter that
+  stays under 128 keeps its one-byte bound;
+* conditional branches refine the tested register along each outgoing
+  edge (``bltz`` proves its source negative on the taken edge, etc.);
+  an empty refinement marks the edge infeasible;
+* memory is not modeled: ``lw`` conservatively yields TOP.  This is
+  the documented precision/soundness trade — the bound is weak for
+  word reloads but never wrong.
+
+The machine boots with every register 0 and ``$sp`` at
+:data:`~repro.asm.program.STACK_TOP` (see :class:`~repro.sim.machine.Machine`),
+which gives the entry state for free.
+"""
+
+from repro.analysis.dataflow import DataflowAnalysis, solve
+from repro.analysis.cfg import build_cfg, reachable_blocks
+from repro.asm.program import STACK_TOP
+from repro.isa.opcodes import Funct, InstrClass, Opcode
+
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+TOP = (INT_MIN, INT_MAX)
+
+#: Abstract state slots: 32 general registers plus the multiply unit.
+HI_SLOT = 32
+LO_SLOT = 33
+NUM_SLOTS = 34
+
+#: Widening targets, one per byte-significance boundary.  An endpoint
+#: that grows during fixpoint iteration jumps outward to the nearest
+#: threshold, so the chain of widened intervals has finite height while
+#: byte-count precision is preserved exactly.
+WIDEN_THRESHOLDS = (
+    INT_MIN, -(1 << 23), -(1 << 15), -(1 << 7), -1,
+    0, 1, (1 << 7) - 1, (1 << 15) - 1, (1 << 23) - 1, INT_MAX,
+)
+
+
+# ------------------------------------------------------------- intervals
+
+
+def to_signed(value):
+    """Reinterpret a u32 machine value as signed."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def const_interval(value):
+    """Singleton interval of one machine (u32) value."""
+    signed = to_signed(value)
+    return (signed, signed)
+
+
+def join_interval(a, b):
+    return (a[0] if a[0] <= b[0] else b[0], a[1] if a[1] >= b[1] else b[1])
+
+
+def meet_interval(a, b):
+    """Intersection; ``None`` when empty (an infeasible refinement)."""
+    lo = a[0] if a[0] >= b[0] else b[0]
+    hi = a[1] if a[1] <= b[1] else b[1]
+    return None if lo > hi else (lo, hi)
+
+
+def widen_interval(old, new):
+    """Jump growing endpoints outward to the nearest byte threshold."""
+    lo, hi = new
+    if lo < old[0]:
+        for threshold in reversed(WIDEN_THRESHOLDS):
+            if threshold <= lo:
+                lo = threshold
+                break
+    if hi > old[1]:
+        for threshold in WIDEN_THRESHOLDS:
+            if threshold >= hi:
+                hi = threshold
+                break
+    return (lo, hi)
+
+
+def bytes_needed(value):
+    """Minimal sign-extended byte width of a signed value (byte2 count)."""
+    if -0x80 <= value < 0x80:
+        return 1
+    if -0x8000 <= value < 0x8000:
+        return 2
+    if -0x800000 <= value < 0x800000:
+        return 3
+    return 4
+
+
+def interval_bytes(interval):
+    """Widest byte2 significance any value in the interval can need.
+
+    ``bytes_needed`` is V-shaped around zero over the signed line, so
+    its maximum over an interval is attained at an endpoint.
+    """
+    low = bytes_needed(interval[0])
+    high = bytes_needed(interval[1])
+    return low if low >= high else high
+
+
+def _bounded(lo, hi):
+    """Interval if it fits in signed 32-bit space, else TOP (may wrap)."""
+    if lo < INT_MIN or hi > INT_MAX:
+        return TOP
+    return (lo, hi)
+
+
+def _is_const(interval):
+    return interval[0] == interval[1]
+
+
+# ------------------------------------------------- arithmetic transfer ops
+
+
+def _add(a, b):
+    return _bounded(a[0] + b[0], a[1] + b[1])
+
+
+def _sub(a, b):
+    return _bounded(a[0] - b[1], a[1] - b[0])
+
+
+def _u32_binop(a, b, op):
+    """Exact constant fold of a bitwise op performed on u32 values."""
+    return const_interval(op(a[0] & 0xFFFFFFFF, b[0] & 0xFFFFFFFF))
+
+
+def _and(a, b):
+    if _is_const(a) and _is_const(b):
+        return _u32_binop(a, b, lambda x, y: x & y)
+    # Masking with a non-negative value bounds the result to [0, mask]
+    # regardless of the other operand's sign (the mask's top bit is 0).
+    if a[0] >= 0 and b[0] >= 0:
+        return (0, a[1] if a[1] <= b[1] else b[1])
+    if b[0] >= 0:
+        return (0, b[1])
+    if a[0] >= 0:
+        return (0, a[1])
+    return TOP
+
+
+def _or(a, b):
+    if _is_const(a) and _is_const(b):
+        return _u32_binop(a, b, lambda x, y: x | y)
+    if a == (0, 0):
+        return b
+    if b == (0, 0):
+        return a
+    if a[0] >= 0 and b[0] >= 0:
+        # x | y <= x + y and x | y >= max(x, y) for non-negative x, y.
+        lo = a[0] if a[0] >= b[0] else b[0]
+        return _bounded(lo, a[1] + b[1])
+    if a[1] < 0 and b[0] >= 0:
+        # OR keeps the negative operand's sign bit; setting bits moves a
+        # two's-complement value toward -1.
+        return (a[0], -1)
+    if b[1] < 0 and a[0] >= 0:
+        return (b[0], -1)
+    return TOP
+
+
+def _xor(a, b):
+    if _is_const(a) and _is_const(b):
+        return _u32_binop(a, b, lambda x, y: x ^ y)
+    # XOR with a value in [0, m] flips only bits below bit 31, changing
+    # the result by at most ±m and never the sign beyond that window.
+    if b[0] >= 0:
+        return _bounded(a[0] - b[1], a[1] + b[1])
+    if a[0] >= 0:
+        return _bounded(b[0] - a[1], b[1] + a[1])
+    return TOP
+
+
+def _not(a):
+    # ~x = -x - 1 is monotone decreasing, hence exact on intervals.
+    return (-a[1] - 1, -a[0] - 1)
+
+
+def _nor(a, b):
+    return _not(_or(a, b))
+
+
+def _slt(a, b):
+    """Signed set-on-less-than with constant folding on disjoint ranges."""
+    if a[1] < b[0]:
+        return (1, 1)
+    if a[0] >= b[1]:
+        return (0, 0)
+    return (0, 1)
+
+
+def _sltu(a, b):
+    # Fold only where the unsigned and signed orders agree.
+    if a[0] >= 0 and b[0] >= 0:
+        return _slt(a, b)
+    return (0, 1)
+
+
+def _shift_range(shift, default_max=31):
+    """Shift-amount interval from the rs interval (masked to 0..31)."""
+    if 0 <= shift[0] and shift[1] <= 31:
+        return shift
+    return (0, default_max)
+
+
+def _sll(a, shift):
+    lo_s, hi_s = shift
+    candidates = (
+        a[0] << lo_s, a[0] << hi_s, a[1] << lo_s, a[1] << hi_s,
+    )
+    return _bounded(min(candidates), max(candidates))
+
+
+def _srl(a, shift):
+    lo_s, hi_s = shift
+    if a[0] >= 0:
+        return (a[0] >> hi_s, a[1] >> lo_s)
+    if lo_s >= 1:
+        # A logical shift of at least one clears the sign bit.
+        return (0, 0xFFFFFFFF >> lo_s)
+    return TOP
+
+
+def _sra(a, shift):
+    lo_s, hi_s = shift
+    candidates = (
+        a[0] >> lo_s, a[0] >> hi_s, a[1] >> lo_s, a[1] >> hi_s,
+    )
+    return (min(candidates), max(candidates))
+
+
+def _mult(a, b, unsigned):
+    """Returns (hi interval, lo interval) of a 32x32 multiply."""
+    if unsigned:
+        if a[0] < 0 or b[0] < 0:
+            return TOP, TOP
+        product_max = a[1] * b[1]
+        if product_max > INT_MAX:
+            return TOP, TOP
+        return (0, 0), (a[0] * b[0], product_max)
+    products = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    p_min, p_max = min(products), max(products)
+    if p_min < INT_MIN or p_max > INT_MAX:
+        return TOP, TOP
+    # lo holds the (fitting) product; hi is its sign word: 0 or -1.
+    return (-1 if p_min < 0 else 0, 0 if p_max >= 0 else -1), (p_min, p_max)
+
+
+def _div(a, b, unsigned):
+    """Returns (hi = remainder interval, lo = quotient interval)."""
+    if unsigned:
+        if a[0] < 0 or b[0] < 0:
+            return TOP, TOP
+        rem_max = b[1] - 1 if b[1] >= 1 else 0
+        if a[1] < rem_max:
+            rem_max = a[1]
+        return (0, rem_max), (0, a[1])
+    if a[0] == INT_MIN:
+        # INT_MIN / -1 wraps the quotient; give up on both halves.
+        return TOP, TOP
+    mag_a = max(-a[0], a[1])
+    mag_b = max(-b[0], b[1], 1)
+    rem_mag = mag_b - 1 if mag_b - 1 <= mag_a else mag_a
+    return (-rem_mag, rem_mag), (-mag_a, mag_a)
+
+
+#: Result intervals of the fixed-width load instructions.
+_LOAD_INTERVALS = {
+    Opcode.LB: (-0x80, 0x7F),
+    Opcode.LBU: (0, 0xFF),
+    Opcode.LH: (-0x8000, 0x7FFF),
+    Opcode.LHU: (0, 0xFFFF),
+    Opcode.LW: TOP,
+}
+
+
+# ------------------------------------------------------ instruction step
+
+
+def transfer_instruction(instr, pc, state):
+    """Abstractly execute one instruction.
+
+    ``state`` is a mutable list of :data:`NUM_SLOTS` intervals, updated
+    in place.  Returns the interval of the value the instruction
+    computes (mirroring ``TraceRecord.write_value`` — present even when
+    the destination is ``$zero`` and the write is discarded), or
+    ``None`` for instructions that produce no register value.
+    """
+
+    def write(reg, interval):
+        if reg != 0:
+            state[reg] = interval
+
+    opcode = instr.opcode
+    if opcode == Opcode.SPECIAL:
+        funct = instr.funct
+        rs, rt = state[instr.rs], state[instr.rt]
+        if funct in (Funct.ADD, Funct.ADDU):
+            value = _add(rs, rt)
+        elif funct in (Funct.SUB, Funct.SUBU):
+            value = _sub(rs, rt)
+        elif funct == Funct.AND:
+            value = _and(rs, rt)
+        elif funct == Funct.OR:
+            value = _or(rs, rt)
+        elif funct == Funct.XOR:
+            value = _xor(rs, rt)
+        elif funct == Funct.NOR:
+            value = _nor(rs, rt)
+        elif funct == Funct.SLT:
+            value = _slt(rs, rt)
+        elif funct == Funct.SLTU:
+            value = _sltu(rs, rt)
+        elif funct == Funct.SLL:
+            value = _sll(rt, (instr.shamt, instr.shamt))
+        elif funct == Funct.SRL:
+            value = _srl(rt, (instr.shamt, instr.shamt))
+        elif funct == Funct.SRA:
+            value = _sra(rt, (instr.shamt, instr.shamt))
+        elif funct == Funct.SLLV:
+            value = _sll(rt, _shift_range(rs))
+        elif funct == Funct.SRLV:
+            value = _srl(rt, _shift_range(rs))
+        elif funct == Funct.SRAV:
+            value = _sra(rt, _shift_range(rs))
+        elif funct in (Funct.MULT, Funct.MULTU):
+            hi, lo = _mult(rs, rt, unsigned=funct == Funct.MULTU)
+            state[HI_SLOT] = hi
+            state[LO_SLOT] = lo
+            return None
+        elif funct in (Funct.DIV, Funct.DIVU):
+            hi, lo = _div(rs, rt, unsigned=funct == Funct.DIVU)
+            state[HI_SLOT] = hi
+            state[LO_SLOT] = lo
+            return None
+        elif funct == Funct.MFHI:
+            value = state[HI_SLOT]
+        elif funct == Funct.MFLO:
+            value = state[LO_SLOT]
+        elif funct == Funct.MTHI:
+            state[HI_SLOT] = rs
+            return None
+        elif funct == Funct.MTLO:
+            state[LO_SLOT] = rs
+            return None
+        elif funct == Funct.JALR:
+            value = const_interval(pc + 4)
+        else:
+            # jr, syscall, break: no register value.
+            return None
+        write(instr.rd, value)
+        return value
+
+    if opcode in (Opcode.ADDI, Opcode.ADDIU):
+        value = _add(state[instr.rs], (instr.imm, instr.imm))
+    elif opcode == Opcode.SLTI:
+        value = _slt(state[instr.rs], (instr.imm, instr.imm))
+    elif opcode == Opcode.SLTIU:
+        rs = state[instr.rs]
+        if rs[0] >= 0 and instr.imm >= 0:
+            value = _slt(rs, (instr.imm, instr.imm))
+        else:
+            value = (0, 1)
+    elif opcode == Opcode.ANDI:
+        value = _and(state[instr.rs], (instr.imm_u, instr.imm_u))
+    elif opcode == Opcode.ORI:
+        value = _or(state[instr.rs], (instr.imm_u, instr.imm_u))
+    elif opcode == Opcode.XORI:
+        value = _xor(state[instr.rs], (instr.imm_u, instr.imm_u))
+    elif opcode == Opcode.LUI:
+        value = const_interval(instr.imm_u << 16)
+    elif opcode in _LOAD_INTERVALS:
+        value = _LOAD_INTERVALS[opcode]
+    elif opcode == Opcode.JAL:
+        state[31] = const_interval(pc + 4)
+        return state[31]
+    else:
+        # Stores, branches, j: address arithmetic only, no register value.
+        return None
+
+    write(instr.rt, value)
+    return value
+
+
+# ------------------------------------------------------------- analysis
+
+
+class SignificanceAnalysis(DataflowAnalysis):
+    """Forward interval propagation with branch-edge refinement."""
+
+    direction = "forward"
+
+    def __init__(self, cfg, initial_registers=None):
+        self.cfg = cfg
+        self._initial = initial_registers
+
+    def boundary(self, cfg):
+        if self._initial is not None:
+            state = [TOP] * NUM_SLOTS
+            for reg, value in self._initial.items():
+                state[reg] = const_interval(value)
+            state[0] = (0, 0)
+            return tuple(state)
+        # Machine boot state: all registers zero, $sp at STACK_TOP.
+        state = [(0, 0)] * NUM_SLOTS
+        state[29] = const_interval(STACK_TOP)
+        return tuple(state)
+
+    def join(self, a, b):
+        return tuple(
+            join_interval(iva, ivb) for iva, ivb in zip(a, b)
+        )
+
+    def widen(self, old, new):
+        return tuple(
+            widen_interval(iva, ivb) for iva, ivb in zip(old, new)
+        )
+
+    def transfer(self, block, state):
+        regs = list(state)
+        pc = block.start
+        for instr in block.instructions:
+            transfer_instruction(instr, pc, regs)
+            pc += 4
+        return tuple(regs)
+
+    # --------------------------------------------- branch-edge refinement
+
+    def edge_state(self, block, successor, state):
+        term = block.terminator
+        if term.iclass is not InstrClass.BRANCH:
+            return state
+        last_pc = block.end - 4
+        taken = self.cfg.block_of(term.branch_target(last_pc)).index
+        fallthrough = self.cfg.block_of(last_pc + 4).index
+        if taken == fallthrough:
+            return state
+        on_taken = successor == taken
+        return _refine_branch(term, state, on_taken)
+
+
+def _refine_with(state, reg, constraint):
+    """Meet one register against a constraint interval."""
+    refined = meet_interval(state[reg], constraint)
+    if refined is None:
+        return None
+    if refined == state[reg]:
+        return state
+    out = list(state)
+    out[reg] = refined
+    return tuple(out)
+
+
+def _exclude_constant(interval, value):
+    """Drop a known-unequal constant when it sits on an endpoint."""
+    lo, hi = interval
+    if lo == hi == value:
+        return None
+    if lo == value:
+        return (lo + 1, hi)
+    if hi == value:
+        return (lo, hi - 1)
+    return interval
+
+
+def _refine_branch(instr, state, on_taken):
+    """Narrow the tested register(s) along one branch edge.
+
+    Returns the refined state, or ``None`` when the refinement is empty
+    (the edge cannot be taken from this state).
+    """
+    opcode = instr.opcode
+    if opcode == Opcode.BLEZ:
+        constraint = (INT_MIN, 0) if on_taken else (1, INT_MAX)
+        return _refine_with(state, instr.rs, constraint)
+    if opcode == Opcode.BGTZ:
+        constraint = (1, INT_MAX) if on_taken else (INT_MIN, 0)
+        return _refine_with(state, instr.rs, constraint)
+    if opcode == Opcode.REGIMM:
+        negative = instr.rt == 0  # bltz; otherwise bgez
+        if negative:
+            constraint = (INT_MIN, -1) if on_taken else (0, INT_MAX)
+        else:
+            constraint = (0, INT_MAX) if on_taken else (INT_MIN, -1)
+        return _refine_with(state, instr.rs, constraint)
+    if opcode in (Opcode.BEQ, Opcode.BNE):
+        equal_edge = on_taken if opcode == Opcode.BEQ else not on_taken
+        rs_iv, rt_iv = state[instr.rs], state[instr.rt]
+        if equal_edge:
+            both = meet_interval(rs_iv, rt_iv)
+            if both is None:
+                return None
+            out = list(state)
+            if instr.rs != 0:
+                out[instr.rs] = both
+            if instr.rt != 0:
+                out[instr.rt] = both
+            return tuple(out)
+        out = list(state)
+        if _is_const(rt_iv) and instr.rs != 0:
+            refined = _exclude_constant(rs_iv, rt_iv[0])
+            if refined is None:
+                return None
+            out[instr.rs] = refined
+        if _is_const(rs_iv) and instr.rt != 0:
+            refined = _exclude_constant(rt_iv, rs_iv[0])
+            if refined is None:
+                return None
+            out[instr.rt] = refined
+        return tuple(out)
+    return state
+
+
+# --------------------------------------------------------------- results
+
+
+class OperandBounds:
+    """Static significance bounds of one instruction.
+
+    ``read_bytes`` aligns index-for-index with
+    ``Instruction.source_registers()`` (and therefore with
+    ``TraceRecord.read_values``); ``write_bytes`` bounds the computed
+    value (``TraceRecord.write_value``), ``None`` when the instruction
+    produces no register value.
+    """
+
+    __slots__ = ("pc", "read_bytes", "write_bytes")
+
+    def __init__(self, pc, read_bytes, write_bytes):
+        self.pc = pc
+        self.read_bytes = read_bytes
+        self.write_bytes = write_bytes
+
+    def __repr__(self):
+        return "OperandBounds(0x%08x, reads=%r, write=%r)" % (
+            self.pc, self.read_bytes, self.write_bytes,
+        )
+
+
+def significance_bounds(cfg, initial_registers=None):
+    """Per-instruction static significance bounds for ``cfg``.
+
+    Returns ``{pc: OperandBounds}`` covering every instruction in a
+    block the analysis can reach (a superset of anything a dynamic run
+    reaches).  Bounds are in bytes, 1..4, sound for the byte-granularity
+    schemes (``byte2``/``byte3``).
+    """
+    analysis = SignificanceAnalysis(cfg, initial_registers=initial_registers)
+    states = solve(cfg, analysis)
+    bounds = {}
+    for block in cfg.blocks:
+        in_state = states[block.index][0]
+        if in_state is None:
+            continue
+        regs = list(in_state)
+        pc = block.start
+        for instr in block.instructions:
+            reads = tuple(
+                interval_bytes(regs[reg]) for reg in instr.source_registers()
+            )
+            value = transfer_instruction(instr, pc, regs)
+            write = None if value is None else interval_bytes(value)
+            bounds[pc] = OperandBounds(pc, reads, write)
+            pc += 4
+    return bounds
+
+
+def operand_bounds(program, initial_registers=None):
+    """Convenience wrapper: build the CFG and compute bounds."""
+    cfg = build_cfg(program)
+    return significance_bounds(cfg, initial_registers=initial_registers)
+
+
+def reachable_instruction_count(cfg):
+    """Instructions inside entry-reachable blocks (for summaries)."""
+    reachable = reachable_blocks(cfg)
+    return sum(
+        len(cfg.blocks[index].instructions) for index in reachable
+    )

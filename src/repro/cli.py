@@ -15,6 +15,9 @@ Examples::
     repro cache info                # trace-cache and result-store statistics
     repro cache clear               # drop every cached trace and result
     repro cache clear --results     # drop cached results, keep traces
+    repro analyze rawcaudio         # static CFG/significance/lint summary
+    repro analyze --format json     # the whole suite, machine-readable
+    repro analyze --crosscheck      # also validate bounds against traces
 
 The persistent cache directory (shared by the trace cache and the
 result store) defaults to the ``REPRO_CACHE_DIR`` environment variable;
@@ -63,7 +66,10 @@ def build_parser():
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'repro list'), 'all', 'list', or 'cache'",
+        help=(
+            "experiment id (see 'repro list'), 'all', 'list', 'cache', "
+            "or 'analyze'"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -140,6 +146,162 @@ def build_cache_parser():
     )
     _add_cache_dir_option(parser)
     return parser
+
+
+def build_analyze_parser():
+    """Parser for the ``repro analyze`` static-analysis subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description=(
+            "Static significance analysis over assembled workload programs: "
+            "CFG shape, per-operand byte-width bounds, and dataflow lints "
+            "(dead writes, unreachable blocks, use-before-def)."
+        ),
+    )
+    parser.add_argument(
+        "workloads",
+        nargs="*",
+        help="workload names (default: the full Mediabench-like suite)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=positive_int,
+        default=1,
+        help="workload input scale factor (default 1)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--crosscheck",
+        action="store_true",
+        help=(
+            "validate the static bounds against each workload's dynamic "
+            "trace (simulates, or loads from the trace cache); exits "
+            "non-zero on any soundness violation"
+        ),
+    )
+    _add_cache_dir_option(parser)
+    return parser
+
+
+def _analyze_main(argv):
+    """Run ``repro analyze [workloads...]``."""
+    from repro.analysis import crosscheck_records
+    from repro.analysis.significance import operand_bounds
+    from repro.study.scheduler import ResultBroker
+    from repro.study.session import TraceStore
+    from repro.workloads import mediabench_suite
+
+    args = build_analyze_parser().parse_args(argv)
+    if args.workloads:
+        try:
+            workloads = _resolve_workloads(",".join(args.workloads))
+        except KeyError as error:
+            print("unknown workload(s): %s" % error.args[0], file=sys.stderr)
+            print(
+                "available: %s" % ", ".join(sorted(all_workloads())),
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        workloads = mediabench_suite()
+
+    cache_dir = _resolve_cache_dir(args)
+    cache = TraceCache(cache_dir) if cache_dir is not None else None
+    store = ResultStore(cache_dir) if cache_dir is not None else None
+    traces = TraceStore(cache=cache)
+    broker = ResultBroker(traces, store)
+    traces.results = broker
+
+    reports = []
+    violations = 0
+    for workload in workloads:
+        summary = broker.analysis_summary(workload, scale=args.scale)
+        if args.crosscheck:
+            bounds = operand_bounds(workload.program(args.scale))
+            records = traces.trace(workload, scale=args.scale)
+            summary = dict(summary)
+            summary["crosscheck"] = crosscheck_records(bounds, records)
+            violations += summary["crosscheck"]["violations"]
+        reports.append(summary)
+
+    if args.format == "json":
+        print(json.dumps(reports, indent=2, sort_keys=True))
+    else:
+        for summary in reports:
+            print(_format_analysis_text(summary))
+    return 1 if violations else 0
+
+
+def _format_analysis_text(summary):
+    """Human-readable block for one workload's analysis summary."""
+    cfg = summary["cfg"]
+    sig = summary["significance"]
+    lints = summary["lints"]
+    lines = [
+        "%s @ scale %d" % (summary["workload"], summary["scale"]),
+        "  cfg: %d blocks, %d edges, %d instructions (%d reachable)"
+        % (
+            cfg["blocks"],
+            cfg["edges"],
+            cfg["instructions"],
+            cfg["reachable_instructions"],
+        ),
+        "  significance: mean %.2f bytes/operand "
+        "(reads %.2f over %d, writes %.2f over %d)"
+        % (
+            sig["mean_operand_bytes"],
+            sig["mean_read_bytes"],
+            sig["read_operands"],
+            sig["mean_write_bytes"],
+            sig["write_operands"],
+        ),
+        "  read bound histogram: %s"
+        % " ".join(
+            "%sB=%s" % (k, sig["read_histogram"][k]) for k in ("1", "2", "3", "4")
+        ),
+    ]
+    if lints["total"]:
+        lines.append(
+            "  lints: %s"
+            % ", ".join(
+                "%s=%d" % (kind, count)
+                for kind, count in sorted(lints["by_kind"].items())
+            )
+        )
+        for finding in lints["findings"]:
+            lines.append(
+                "    %s %s %s: %s"
+                % (
+                    finding["severity"],
+                    finding["kind"],
+                    finding["pc"],
+                    finding["message"],
+                )
+            )
+    else:
+        lines.append("  lints: clean")
+    check = summary.get("crosscheck")
+    if check is not None:
+        lines.append(
+            "  crosscheck: %s — %d records, %d values, %d violations "
+            "(static slack %s)"
+            % (
+                "ok" if check["ok"] else "VIOLATED",
+                check["records"],
+                check["values_checked"],
+                check["violations"],
+                ", ".join(
+                    "%s=+%.0f%%" % (name, 100.0 * slack)
+                    for name, slack in zip(check["schemes"], check["slack"])
+                ),
+            )
+        )
+    return "\n".join(lines)
 
 
 def _resolve_workloads(spec):
@@ -270,6 +432,8 @@ def main(argv=None):
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv[:1] == ["cache"]:
         return _cache_main(argv[1:])
+    if argv[:1] == ["analyze"]:
+        return _analyze_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.kernel is not None:

@@ -296,8 +296,12 @@ class CodeGenerator:
         elif isinstance(statement, LocalVar):
             self._gen_local_var(ctx, statement)
         elif isinstance(statement, ExprStmt):
-            register = self._gen_expr(ctx, statement.expr)
-            self._release(ctx, register)
+            # Statement context discards the value: calls skip the dead
+            # result materialization (the static dead-write lint keeps
+            # this honest — see tests/test_analysis.py).
+            register = self._gen_expr(ctx, statement.expr, want_result=False)
+            if register is not None:
+                self._release(ctx, register)
         elif isinstance(statement, If):
             self._gen_if(ctx, statement)
         elif isinstance(statement, While):
@@ -383,8 +387,9 @@ class CodeGenerator:
         ctx.loop_stack.pop()
         ctx.emit_label(step_label)
         if statement.step is not None:
-            register = self._gen_expr(ctx, statement.step)
-            self._release(ctx, register)
+            register = self._gen_expr(ctx, statement.step, want_result=False)
+            if register is not None:
+                self._release(ctx, register)
         ctx.emit("b %s" % head)
         ctx.emit_label(end)
         ctx.pop_scope()
@@ -446,8 +451,13 @@ class CodeGenerator:
 
     # ------------------------------------------------------------ expressions
 
-    def _gen_expr(self, ctx, node):
-        """Generate code for ``node``; returns the temp register holding it."""
+    def _gen_expr(self, ctx, node, want_result=True):
+        """Generate code for ``node``; returns the temp register holding it.
+
+        ``want_result=False`` (statement context) lets calls skip
+        materializing their result register and return ``None``; every
+        other expression kind still produces a register.
+        """
         if isinstance(node, Num):
             register = self._acquire(ctx)
             ctx.emit("li %s, %d" % (register, node.value))
@@ -459,13 +469,13 @@ class CodeGenerator:
             ctx.emit("lw %s, 0(%s)" % (address, address))
             return address
         if isinstance(node, Assign):
-            return self._gen_assign(ctx, node)
+            return self._gen_assign(ctx, node, want_result=want_result)
         if isinstance(node, Binary):
             return self._gen_binary(ctx, node)
         if isinstance(node, Unary):
             return self._gen_unary(ctx, node)
         if isinstance(node, Call):
-            return self._gen_call(ctx, node)
+            return self._gen_call(ctx, node, want_result=want_result)
         raise CompileError("unhandled expression %r" % node)
 
     def _gen_var(self, ctx, node):
@@ -512,7 +522,7 @@ class CodeGenerator:
             self._release(ctx, base)
         return index_reg
 
-    def _gen_assign(self, ctx, node):
+    def _gen_assign(self, ctx, node, want_result=True):
         target = node.target
         if node.op is not None:
             # Compound assignment: rewrite a op= b as a = a op b.
@@ -529,6 +539,10 @@ class CodeGenerator:
         address = self._gen_address(ctx, target)
         value = self._gen_expr(ctx, node.value)
         ctx.emit("sw %s, 0(%s)" % (value, address))
+        if not want_result:
+            self._release(ctx, value)
+            self._release(ctx, address)
+            return None
         # Free one temp: move the value into the (deeper) address register.
         self._swap_release(ctx, value, address)
         return address
@@ -665,9 +679,9 @@ class CodeGenerator:
         ctx.emit("sltiu %s, %s, 1" % (register, register))
         return register
 
-    def _gen_call(self, ctx, node):
+    def _gen_call(self, ctx, node, want_result=True):
         if node.name in BUILTINS:
-            return self._gen_builtin(ctx, node)
+            return self._gen_builtin(ctx, node, want_result=want_result)
         function = ctx.functions.get(node.name)
         if function is None:
             raise CompileError("call to undefined function %r" % node.name, node.line)
@@ -690,11 +704,13 @@ class CodeGenerator:
             self._release(ctx, register)
         ctx.emit("jal f_%s" % node.name)
         self._restore_live_temps(ctx, spilled)
+        if not want_result:
+            return None
         result = self._acquire(ctx)
         ctx.emit("move %s, $v0" % result)
         return result
 
-    def _gen_builtin(self, ctx, node):
+    def _gen_builtin(self, ctx, node, want_result=True):
         if len(node.args) != 1:
             raise CompileError("%s() takes one argument" % node.name, node.line)
         spilled = self._spill_live_temps(ctx)
@@ -704,6 +720,8 @@ class CodeGenerator:
         ctx.emit("li $v0, %d" % BUILTINS[node.name])
         ctx.emit("syscall")
         self._restore_live_temps(ctx, spilled)
+        if not want_result:
+            return None
         result = self._acquire(ctx)
         ctx.emit("move %s, $zero" % result)
         return result

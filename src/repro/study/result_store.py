@@ -59,8 +59,10 @@ MAGIC = "SCRS"
 #: and the core models import each other transitively (siginfo -> alu,
 #: extension -> bitutils, ...) and a missed dependency would silently
 #: serve stale results.  The trace-producing toolchain (minic, asm,
-#: isa, sim) is covered separately by the toolchain fingerprint.
-_ENGINE_PACKAGES = ("repro.pipeline", "repro.core")
+#: isa, sim) is covered separately by the toolchain fingerprint.  The
+#: static analyzer lives here too: its stored summaries (kind
+#: ``analyze``) depend on CFG/dataflow/significance sources.
+_ENGINE_PACKAGES = ("repro.pipeline", "repro.core", "repro.analysis")
 
 #: Modules outside those packages that also shape stored payloads: the
 #: trace-walk reducers define the walk-unit payload layout and merge

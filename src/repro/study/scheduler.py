@@ -39,6 +39,12 @@ import sys
 import time
 from collections import namedtuple
 
+from repro.analysis.driver import (
+    ANALYSIS_VERSION,
+    analyze_workload,
+    unwrap_analysis_payload,
+    wrap_analysis_payload,
+)
 from repro.core.extension import BYTE_SCHEME, SCHEMES
 from repro.core.icompress import FetchStatistics
 from repro.pipeline.activity import ActivityModel, ActivityReport
@@ -172,6 +178,29 @@ class WalkUnit(namedtuple("WalkUnit", ("workload", "scale", "walker"))):
         return "%s@%d/%s" % (self.workload, self.scale, self.slug())
 
 
+class AnalysisUnit(namedtuple("AnalysisUnit", ("workload", "scale"))):
+    """One static-analysis summary (CFG + significance bounds + lints).
+
+    Unlike every other unit kind this one needs no trace — it analyzes
+    the *assembled program* — so the broker's compute path special-cases
+    it before touching the trace store.  The payload version rides in
+    the descriptor (and in the stored envelope), so summaries from an
+    older analyzer fail closed and recompute.
+    """
+
+    __slots__ = ()
+    kind = "analyze"
+
+    def descriptor(self):
+        return {"kind": self.kind, "version": ANALYSIS_VERSION}
+
+    def slug(self):
+        return "analyze"
+
+    def label(self):
+        return "%s@%d/analyze" % (self.workload, self.scale)
+
+
 def activity_config(scheme=BYTE_SCHEME, ext_bits_in_memory=False):
     """The config key of a study-standard ActivityModel over ``scheme``.
 
@@ -203,6 +232,8 @@ def _result_from_payload(unit, payload):
             return ActivityReport.from_dict(payload)
         if isinstance(unit, WalkUnit):
             return unwrap_payload(unit.walker, payload)
+        if isinstance(unit, AnalysisUnit):
+            return unwrap_analysis_payload(payload)
         return FetchStatistics.from_dict(payload)
     except (ValueError, TypeError):
         return None
@@ -316,6 +347,11 @@ class ResultBroker:
         unit = FetchUnit(workload.name, scale)
         return self._ensure(unit, workload)
 
+    def analysis_summary(self, workload, scale=1):
+        """Memoized static-analysis summary of one workload's program."""
+        unit = AnalysisUnit(workload.name, scale)
+        return self._ensure(unit, workload)
+
     def walk_payload(self, workload, spec, scale=1):
         """Memoized payload of one trace walker over one workload."""
         return self.walk_payloads(workload, (spec,), scale=scale)[0]
@@ -397,6 +433,8 @@ class ResultBroker:
         # in-memory list.
         warmed = set()
         for unit in pending:
+            if isinstance(unit, AnalysisUnit):
+                continue  # static analysis never touches a trace
             key = (unit.workload, unit.scale)
             if key not in warmed:
                 warmed.add(key)
@@ -556,6 +594,10 @@ class ResultBroker:
         report it back to the parent (their own counters die with the
         pool); ``None`` marks the non-simulation unit kinds.
         """
+        if isinstance(unit, AnalysisUnit):
+            # Static analysis runs over the assembled program; fetching
+            # (or worse, simulating) a trace here would be pure waste.
+            return analyze_workload(workload, scale=unit.scale), None
         records = self.traces.trace(workload, scale=unit.scale)
         if isinstance(unit, SimUnit):
             organization = get_organization(unit.organization)
@@ -593,6 +635,8 @@ class ResultBroker:
         if self.store is not None:
             if isinstance(unit, WalkUnit):
                 payload = wrap_payload(unit.walker, result)
+            elif isinstance(unit, AnalysisUnit):
+                payload = wrap_analysis_payload(result)
             else:
                 payload = result.to_dict()
             self.store.store(workload, unit, payload)
@@ -651,6 +695,14 @@ def resolve_fetch_statistics(workload, scale, store=None):
     for record in _records(workload, scale, store):
         stats.record(record.instr)
     return stats
+
+
+def resolve_analysis_summary(workload, scale=1, store=None):
+    """(Memoized, when possible) static-analysis summary for a workload."""
+    broker = getattr(store, "results", None) if store is not None else None
+    if broker is not None:
+        return broker.analysis_summary(workload, scale=scale)
+    return analyze_workload(workload, scale=scale)
 
 
 def resolve_walk_payload(workload, spec, scale, store=None):

@@ -1,0 +1,388 @@
+"""Repo-invariant lint: cache-key coverage and payload-envelope checks.
+
+The persistent caches (``repro.study.trace_cache`` /
+``repro.study.result_store``) key every entry by fingerprints over the
+*source files* that shape its contents.  Two invariants keep that
+scheme honest, and both have failed silently before they were checked:
+
+1. **Fingerprint coverage** — every module under the watched
+   ``repro.*`` packages must either be covered by one of the
+   ``fingerprint_sources`` package/module lists, or be explicitly
+   declared orchestration-only in :data:`ORCHESTRATION_ONLY` below.  A
+   new module fails this check until its author decides whether editing
+   it must invalidate cached traces/results.
+
+2. **Versioned payload envelopes** — every registered trace walker and
+   pipeline kernel must produce payloads that ride inside a versioned
+   envelope (a ``version`` key stamped from a module constant and
+   checked on load), so layout changes fail closed as cache misses
+   instead of deserializing garbage.
+
+Everything here is AST-based: the checker parses sources, it never
+imports ``repro`` (so it runs before the package does, and a syntax
+error in the tree is itself a finding).  Run from the repo root:
+
+    python tools/check_invariants.py
+"""
+
+import ast
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+
+#: Packages whose modules must all be fingerprint-covered or exempted.
+WATCHED_PACKAGES = (
+    "repro.minic",
+    "repro.asm",
+    "repro.isa",
+    "repro.sim",
+    "repro.core",
+    "repro.pipeline",
+    "repro.analysis",
+    "repro.study",
+)
+
+#: Modules that only orchestrate (schedule, cache, report): their
+#: *identity* rides in cache keys through unit descriptors and the
+#: store version, not through a source fingerprint.  Every name here is
+#: a deliberate decision — a new study module must be added to either
+#: this set or ``_ENGINE_MODULES`` before the check passes.
+ORCHESTRATION_ONLY = frozenset((
+    "repro.study",              # package __init__: re-exports only
+    "repro.study.activity_study",
+    "repro.study.cpi_study",
+    "repro.study.experiments",
+    "repro.study.funct_study",
+    "repro.study.patterns_study",
+    "repro.study.pc_study",
+    "repro.study.report",
+    "repro.study.result_store",  # keys carry STORE_VERSION instead
+    "repro.study.scheduler",     # unit descriptors ride in keys
+    "repro.study.session",
+    "repro.study.trace_cache",   # keys carry CACHE_VERSION instead
+))
+
+#: (relative path, version constant) pairs: every stored-payload layout
+#: must stamp and re-check one of these constants.
+VERSION_ENVELOPES = (
+    ("src/repro/study/walkers.py", "WALK_VERSION"),
+    ("src/repro/analysis/driver.py", "ANALYSIS_VERSION"),
+    ("src/repro/pipeline/base.py", "RESULT_SCHEMA_VERSION"),
+    ("src/repro/pipeline/activity.py", "REPORT_SCHEMA_VERSION"),
+    ("src/repro/core/icompress.py", "SCHEMA_VERSION"),
+)
+
+
+def _parse(relative_path):
+    path = os.path.join(REPO_ROOT, relative_path)
+    with open(path, "r", encoding="utf-8") as handle:
+        return ast.parse(handle.read(), filename=relative_path)
+
+
+def _tuple_of_strings(node):
+    """The string elements of a tuple/list literal, or None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    items = []
+    for element in node.elts:
+        if not isinstance(element, ast.Constant) or not isinstance(
+            element.value, str
+        ):
+            return None
+        items.append(element.value)
+    return tuple(items)
+
+
+def _assigned_string_tuple(tree, name):
+    """The value of a module-level ``NAME = ("...", ...)`` assignment."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets:
+                return _tuple_of_strings(node.value)
+    return None
+
+
+def _iter_modules(package):
+    """Dotted module names under one ``repro.*`` package, from disk."""
+    root = os.path.join(SRC_ROOT, *package.split("."))
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            relative = os.path.relpath(
+                os.path.join(dirpath, filename), SRC_ROOT
+            )
+            dotted = relative[: -len(".py")].replace(os.sep, ".")
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            yield dotted
+
+
+def check_fingerprint_coverage(errors):
+    """Invariant 1: watched modules are fingerprinted or exempted."""
+    toolchain = _assigned_string_tuple(
+        _parse("src/repro/study/trace_cache.py"), "_TOOLCHAIN_PACKAGES"
+    )
+    store_tree = _parse("src/repro/study/result_store.py")
+    engine = _assigned_string_tuple(store_tree, "_ENGINE_PACKAGES")
+    engine_modules = _assigned_string_tuple(store_tree, "_ENGINE_MODULES")
+    for name, value in (
+        ("trace_cache._TOOLCHAIN_PACKAGES", toolchain),
+        ("result_store._ENGINE_PACKAGES", engine),
+        ("result_store._ENGINE_MODULES", engine_modules),
+    ):
+        if value is None:
+            errors.append(
+                "%s is not a literal tuple of dotted names "
+                "(the coverage check cannot read it)" % name
+            )
+    if errors:
+        return
+    covered_packages = tuple(toolchain) + tuple(engine)
+    covered_modules = frozenset(engine_modules)
+    for package in WATCHED_PACKAGES:
+        for module in _iter_modules(package):
+            if module in covered_modules or module in ORCHESTRATION_ONLY:
+                continue
+            if any(
+                module == prefix or module.startswith(prefix + ".")
+                for prefix in covered_packages
+            ):
+                continue
+            errors.append(
+                "module %s is in no fingerprint_sources list: add it to "
+                "a fingerprinted package/module list (its edits must "
+                "invalidate cached results) or to ORCHESTRATION_ONLY in "
+                "tools/check_invariants.py (they must not)" % module
+            )
+
+
+def _has_int_constant(tree, name):
+    """True when ``name`` is assigned an int literal (module or class)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets:
+                value = node.value
+                return isinstance(value, ast.Constant) and isinstance(
+                    value.value, int
+                )
+    return False
+
+
+def _names_constant(node, name):
+    """True when an expression references ``name`` (Name or attribute)."""
+    return (isinstance(node, ast.Name) and node.id == name) or (
+        isinstance(node, ast.Attribute) and node.attr == name
+    )
+
+
+def _stamps_version(tree, constant):
+    """True for a dict literal ``{"version": CONSTANT, ...}`` anywhere."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "version"
+                    and _names_constant(value, constant)
+                ):
+                    return True
+    return False
+
+
+def _checks_version(tree, constant):
+    """True for a comparison against ``CONSTANT`` anywhere (the unwrap)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            if any(_names_constant(op, constant) for op in operands):
+                return True
+    return False
+
+
+def check_version_envelopes(errors):
+    """Invariant 2a: every payload layout stamps + re-checks a version."""
+    for relative_path, constant in VERSION_ENVELOPES:
+        if not os.path.exists(os.path.join(REPO_ROOT, relative_path)):
+            errors.append("%s: file missing" % relative_path)
+            continue
+        tree = _parse(relative_path)
+        if not _has_int_constant(tree, constant):
+            errors.append(
+                "%s: no integer %s constant" % (relative_path, constant)
+            )
+            continue
+        if not _stamps_version(tree, constant):
+            errors.append(
+                "%s: no payload dict stamps {'version': %s}"
+                % (relative_path, constant)
+            )
+        if not _checks_version(tree, constant):
+            errors.append(
+                "%s: nothing compares a loaded payload against %s "
+                "(stale envelopes would not fail closed)"
+                % (relative_path, constant)
+            )
+
+
+def _class_defs(tree):
+    return {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+
+
+def _module_string_constants(tree):
+    """Module-level ``NAME = "literal"`` bindings."""
+    constants = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            value = node.value
+            if isinstance(value, ast.Constant) and isinstance(
+                value.value, str
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        constants[target.id] = value.value
+    return constants
+
+
+def _class_string_attr(class_node, attribute, module_constants=()):
+    """A class-level ``attribute = "..."`` string value, or None.
+
+    Also resolves one level of indirection through a module-level
+    string constant (``name = REFERENCE_KERNEL``).
+    """
+    for node in class_node.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if attribute in targets:
+                value = node.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    return value.value
+                if (
+                    isinstance(value, ast.Name)
+                    and value.id in module_constants
+                ):
+                    return module_constants[value.id]
+    return None
+
+
+def _class_methods(class_node, classes):
+    """Method names defined on a class or its in-module bases."""
+    methods = {
+        item.name
+        for item in class_node.body
+        if isinstance(item, ast.FunctionDef)
+    }
+    for base in class_node.bases:
+        if isinstance(base, ast.Name) and base.id in classes:
+            methods |= _class_methods(classes[base.id], classes)
+    return methods
+
+
+def check_registered_walkers(errors):
+    """Invariant 2b: every WALKERS entry is a kind-tagged walker class."""
+    relative_path = "src/repro/study/walkers.py"
+    tree = _parse(relative_path)
+    classes = _class_defs(tree)
+    registered = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "WALKERS" not in targets:
+            continue
+        for inner in ast.walk(node.value):
+            if isinstance(inner, ast.Name) and inner.id in classes:
+                registered.append(inner.id)
+    if not registered:
+        errors.append(
+            "%s: found no walker classes in the WALKERS registry"
+            % relative_path
+        )
+        return
+    for name in registered:
+        class_node = classes[name]
+        if _class_string_attr(class_node, "kind") is None:
+            errors.append(
+                "%s: registered walker %s has no string `kind` class "
+                "attribute (its payloads cannot be spec-tagged)"
+                % (relative_path, name)
+            )
+        methods = _class_methods(class_node, classes)
+        for required in ("feed", "finish"):
+            if required not in methods:
+                errors.append(
+                    "%s: registered walker %s does not define %s()"
+                    % (relative_path, name, required)
+                )
+
+
+def check_registered_kernels(errors):
+    """Invariant 2c: every @register_kernel class is name-tagged."""
+    relative_path = "src/repro/pipeline/kernel.py"
+    tree = _parse(relative_path)
+    registered = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+        and any(
+            isinstance(decorator, ast.Name)
+            and decorator.id == "register_kernel"
+            for decorator in node.decorator_list
+        )
+    ]
+    if not registered:
+        errors.append(
+            "%s: found no @register_kernel classes" % relative_path
+        )
+        return
+    constants = _module_string_constants(tree)
+    names = []
+    for class_node in registered:
+        name = _class_string_attr(class_node, "name", constants)
+        if name is None:
+            errors.append(
+                "%s: registered kernel %s has no string `name` class "
+                "attribute (its results cannot be keyed per backend)"
+                % (relative_path, class_node.name)
+            )
+        else:
+            names.append(name)
+    duplicates = {name for name in names if names.count(name) > 1}
+    for name in sorted(duplicates):
+        errors.append(
+            "%s: kernel name %r registered more than once"
+            % (relative_path, name)
+        )
+
+
+def main():
+    errors = []
+    check_fingerprint_coverage(errors)
+    check_version_envelopes(errors)
+    check_registered_walkers(errors)
+    check_registered_kernels(errors)
+    if errors:
+        for error in errors:
+            print("check_invariants: %s" % error, file=sys.stderr)
+        print(
+            "check_invariants: %d invariant violation(s)" % len(errors),
+            file=sys.stderr,
+        )
+        return 1
+    print("check_invariants: all repo invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,14 +9,17 @@ persistent result store instead of recomputed), decode throughput of
 the trace codec (full-list vs record-at-a-time streaming), the fused
 trace-walk studies cold vs warm, serial vs parallel scheduling of
 independent experiments over a shared, pre-materialized TraceStore,
-and raw simulation throughput per registered pipeline kernel (the
-reference-vs-tabular speedup lands in the benchmark JSON artifact).
+raw simulation throughput per registered pipeline kernel (the
+reference-vs-tabular speedup lands in the benchmark JSON artifact), and
+hierarchy-classification throughput per registered memory-hierarchy
+backend (the reference-vs-memo speedup, same artifact).
 """
 
 import pytest
 
 from repro.pipeline import InOrderPipeline, get_organization, kernel_names
 from repro.sim import tracefile
+from repro.sim.hierarchy_model import get_hierarchy, hierarchy_names
 from repro.study.session import ExperimentSession, TraceStore
 from repro.study.trace_cache import TraceCache
 from repro.workloads import get_workload
@@ -132,6 +135,56 @@ def test_kernel_sim_throughput(benchmark, kernel):
 
     instructions = benchmark.pedantic(run, rounds=3, iterations=1)
     benchmark.extra_info["kernel"] = kernel
+    benchmark.extra_info["instructions_per_round"] = instructions
+    assert instructions > 0
+
+
+@pytest.mark.parametrize("hierarchy", hierarchy_names())
+def test_hierarchy_sim_throughput(benchmark, hierarchy):
+    # Trace-classifications-per-second per registered hierarchy backend:
+    # each round drives every CI-set trace through a fresh hierarchy
+    # state via the batch classify_block API (exactly one simulation's
+    # worth of hierarchy work per trace).  The memo backend's speedup
+    # over reference is tracked by comparing these cases in the
+    # benchmark JSON artifact (rate = accesses_per_round / mean).
+    model = get_hierarchy(hierarchy)
+    traces = _kernel_bench_traces()
+
+    def run():
+        accesses = 0
+        for records in traces:
+            state = model.create()
+            state.classify_block(records)
+            accesses += len(records)
+        return accesses
+
+    accesses = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["hierarchy"] = hierarchy
+    benchmark.extra_info["accesses_per_round"] = accesses
+    assert accesses > 0
+
+
+@pytest.mark.parametrize("hierarchy", hierarchy_names())
+def test_hierarchy_full_sim_throughput(benchmark, hierarchy):
+    # End-to-end sims-per-second per hierarchy backend under the default
+    # kernel — the whole-pipeline view of the same comparison.
+    traces = _kernel_bench_traces()
+    organizations = [
+        get_organization(name) for name in KERNEL_BENCH_ORGANIZATIONS
+    ]
+
+    def run():
+        instructions = 0
+        for organization in organizations:
+            for records in traces:
+                result = InOrderPipeline(
+                    organization, hierarchy=hierarchy
+                ).run(records)
+                instructions += result.instructions
+        return instructions
+
+    instructions = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["hierarchy"] = hierarchy
     benchmark.extra_info["instructions_per_round"] = instructions
     assert instructions > 0
 

@@ -11,6 +11,7 @@ Examples::
     repro all --jobs 4              # same output, experiments in parallel
     repro all --format json         # machine-readable report
     repro all --kernel reference    # same output, oracle simulation backend
+    repro all --hierarchy reference # same output, oracle memory hierarchy
     repro all --cache-dir .cache    # persist traces + results across processes
     repro cache info                # trace-cache and result-store statistics
     repro cache clear               # drop every cached trace and result
@@ -22,7 +23,9 @@ Examples::
 The persistent cache directory (shared by the trace cache and the
 result store) defaults to the ``REPRO_CACHE_DIR`` environment variable;
 ``--cache-dir`` overrides it.  The simulation backend defaults to the
-``REPRO_KERNEL`` environment variable; ``--kernel`` overrides it.
+``REPRO_KERNEL`` environment variable; ``--kernel`` overrides it.  The
+memory-hierarchy backend defaults to ``REPRO_HIERARCHY``;
+``--hierarchy`` overrides it.
 """
 
 import argparse
@@ -34,6 +37,12 @@ from repro.pipeline.kernel import (
     default_kernel_name,
     get_kernel,
     kernel_names,
+)
+from repro.sim.hierarchy_model import (
+    ENV_HIERARCHY,
+    default_hierarchy_name,
+    get_hierarchy,
+    hierarchy_names,
 )
 from repro.study.experiments import EXPERIMENTS
 from repro.study.result_store import ResultStore
@@ -100,6 +109,14 @@ def build_parser():
         help=(
             "pipeline simulation backend (default: $%s when set, else "
             "'tabular'); see 'repro list' for registered kernels" % ENV_KERNEL
+        ),
+    )
+    parser.add_argument(
+        "--hierarchy",
+        default=None,
+        help=(
+            "memory-hierarchy backend (default: $%s when set, else 'memo'); "
+            "see 'repro list' for registered hierarchies" % ENV_HIERARCHY
         ),
     )
     _add_cache_dir_option(parser)
@@ -399,6 +416,11 @@ def _list_main(args):
     default_kernel = (
         args.kernel if args.kernel is not None else default_kernel_name()
     )
+    hierarchies = hierarchy_names()
+    default_hierarchy = (
+        args.hierarchy if args.hierarchy is not None
+        else default_hierarchy_name()
+    )
     if args.format == "json":
         payload = {
             "experiments": {
@@ -409,6 +431,8 @@ def _list_main(args):
             "workloads": workload_names,
             "kernels": kernels,
             "default_kernel": default_kernel,
+            "hierarchies": hierarchies,
+            "default_hierarchy": default_hierarchy,
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -422,6 +446,13 @@ def _list_main(args):
         % ", ".join(
             "%s (default)" % name if name == default_kernel else name
             for name in kernels
+        )
+    )
+    print(
+        "hierarchies: %s"
+        % ", ".join(
+            "%s (default)" % name if name == default_hierarchy else name
+            for name in hierarchies
         )
     )
     return 0
@@ -440,6 +471,10 @@ def main(argv=None):
             get_kernel(args.kernel)  # unknown names exit before any work
         else:
             default_kernel_name()  # validates $REPRO_KERNEL
+        if args.hierarchy is not None:
+            get_hierarchy(args.hierarchy)
+        else:
+            default_hierarchy_name()  # validates $REPRO_HIERARCHY
     except (KeyError, ValueError) as error:
         print(error.args[0] if error.args else str(error), file=sys.stderr)
         return 2
@@ -468,6 +503,7 @@ def main(argv=None):
         scale=args.scale,
         cache_dir=_resolve_cache_dir(args),
         kernel=args.kernel,
+        hierarchy=args.hierarchy,
     )
     names = None if args.experiment == "all" else [args.experiment]
     try:

@@ -26,11 +26,14 @@ memoization).  The recurrence semantics, shared by every backend:
   EX — byte-skewed organizations resolve once the widest significant
   operand has passed through the comparator lanes).
 
-Cache and TLB stalls come from :class:`~repro.sim.hierarchy.MemoryHierarchy`
-with the paper's Section 3 parameters.
+Cache and TLB stalls come from a pluggable hierarchy backend
+(:mod:`repro.sim.hierarchy_model`; ``reference`` is the original
+:class:`~repro.sim.hierarchy.MemoryHierarchy`, ``memo`` its memoized
+field-wise-identical reimplementation) with the paper's Section 3
+parameters.
 """
 
-from repro.sim.hierarchy import MemoryHierarchy
+from repro.sim.hierarchy_model import resolve_hierarchy
 
 
 #: Bumped whenever the meaning or shape of PipelineResult.to_dict
@@ -149,6 +152,14 @@ class InOrderPipeline:
     registered kernel name, a kernel instance, or ``None`` for the
     process default (``--kernel`` / ``$REPRO_KERNEL`` / ``reference``).
 
+    ``hierarchy`` selects the memory-hierarchy backend the same way: a
+    registered :class:`~repro.sim.hierarchy_model.HierarchyModel` name
+    (``reference`` / ``memo``), a model instance, or ``None`` for the
+    process default (``--hierarchy`` / ``$REPRO_HIERARCHY``).  The
+    per-run hierarchy *state* it creates is exposed as
+    :attr:`hierarchy`; ``hierarchy_config`` parameterizes its geometry
+    and latencies (``None``: the paper's Section 3 values).
+
     ``predictor`` (optional) enables the Section 3 future-work study: a
     direction predictor with ideal BTB.  Correctly predicted control
     instructions stop gating fetch; mispredictions redirect at the
@@ -157,9 +168,10 @@ class InOrderPipeline:
     """
 
     def __init__(self, organization, hierarchy_config=None, predictor=None,
-                 kernel=None):
+                 kernel=None, hierarchy=None):
         self.organization = organization
-        self.hierarchy = MemoryHierarchy(hierarchy_config)
+        self.hierarchy_model = resolve_hierarchy(hierarchy)
+        self.hierarchy = self.hierarchy_model.create(hierarchy_config)
         self.predictor = predictor
         self.kernel = kernel
 

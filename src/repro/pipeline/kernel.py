@@ -17,6 +17,14 @@ table-driven, C-accelerated, remote) without touching study code:
 * ``expand(records, organization) -> ExpandedTrace``
 * ``simulate(expanded, hierarchy, predictor) -> PipelineResult``
 
+``simulate``'s ``hierarchy`` is a per-run *hierarchy state* from the
+pluggable backend registry (:mod:`repro.sim.hierarchy_model`): kernels
+consume it only through the narrow timing protocol —
+``ifetch_stall(pc)`` / ``data_stall(addr, is_store)`` returning bare
+stall-cycle integers, plus ``stats()`` for the result — so any
+registered hierarchy backend (``reference``, ``memo``, future
+vectorized ones) slots under any kernel.
+
 Two backends ship:
 
 * ``reference`` — the original fused loop, relocated verbatim from
@@ -215,10 +223,11 @@ class ReferenceKernel(PipelineKernel):
     name = REFERENCE_KERNEL
 
     def expand(self, records, organization):
-        # Inline expansion: nothing to precompute.
+        """Pass-through: the reference loop expands inline, per record."""
         return ExpandedTrace(organization, records)
 
     def simulate(self, expanded, hierarchy, predictor=None):
+        """Run the original fused expansion + recurrence loop."""
         org = expanded.organization
         scheme = org.scheme
         compressor = org.compressor
@@ -251,7 +260,7 @@ class ReferenceKernel(PipelineKernel):
             excess["wb"] += occ_wb - 1
 
             # ----------------------------------------------------------- IF
-            imiss = hierarchy.access_instruction(record.pc).stall_cycles
+            imiss = hierarchy.ifetch_stall(record.pc)
             want_if = free[0]
             if_start = max(want_if, redirect_time)
             if if_start > want_if:
@@ -313,9 +322,9 @@ class ReferenceKernel(PipelineKernel):
             # latency, without holding the stage for later instructions.
             dmiss = 0
             if record.mem_addr is not None:
-                dmiss = hierarchy.access_data(
+                dmiss = hierarchy.data_stall(
                     record.mem_addr, is_store=record.mem_is_store
-                ).stall_cycles
+                )
             arrival = ex_start + 1
             if record.mem_addr is None:
                 mem_start = max(arrival, free[3])
@@ -446,6 +455,7 @@ class TabularKernel(PipelineKernel):
     name = TABULAR_KERNEL
 
     def expand(self, records, organization):
+        """One-pass memoized expansion; returns a row-table ExpandedTrace."""
         org = organization
         if not _plans_are_authoritative(org):
             raise ValueError(
@@ -598,6 +608,7 @@ class TabularKernel(PipelineKernel):
         return ExpandedTrace(org, records, rows=rows, stage_excess=stage_excess)
 
     def simulate(self, expanded, hierarchy, predictor=None):
+        """Replay the tightened recurrence over precomputed rows."""
         rows = expanded.rows
         if rows is None:
             raise ValueError(
@@ -608,8 +619,8 @@ class TabularKernel(PipelineKernel):
         banked_fetch = org.banked_fetch
         streams = org.streams_operands
         forward_latency = org.forward_latency
-        access_instruction = hierarchy.access_instruction
-        access_data = hierarchy.access_data
+        ifetch_stall = hierarchy.ifetch_stall
+        data_stall = hierarchy.data_stall
         predict = predictor.predict if predictor is not None else None
 
         # Stage clocks and stall counters as locals (no list/dict churn).
@@ -628,7 +639,7 @@ class TabularKernel(PipelineKernel):
              fetch_bytes, mem_addr, is_store, addr_mode, addr_off,
              res_mode, res_depth, record) in rows:
             # ----------------------------------------------------------- IF
-            imiss = access_instruction(pc).stall_cycles
+            imiss = ifetch_stall(pc)
             if_start = f_if
             if redirect_time > if_start:
                 s_branch += redirect_time - if_start
@@ -684,7 +695,7 @@ class TabularKernel(PipelineKernel):
                 dmiss = 0
                 mem_start = arrival if arrival >= f_mem else f_mem
             else:
-                dmiss = access_data(mem_addr, is_store=is_store).stall_cycles
+                dmiss = data_stall(mem_addr, is_store)
                 if addr_mode == _ADDR_EX_END:
                     address_ready = ex_end
                 else:

@@ -318,15 +318,18 @@ def get_organization(name):
     return _BY_NAME[name]
 
 
-def simulate(organization, records, hierarchy_config=None, kernel=None):
+def simulate(organization, records, hierarchy_config=None, kernel=None,
+             hierarchy=None):
     """Convenience: run ``records`` through one organization.
 
     ``organization`` may be a name or an Organization instance;
     ``kernel`` selects a simulation backend by name (default: the
-    process-default kernel, see :mod:`repro.pipeline.kernel`).
+    process-default kernel, see :mod:`repro.pipeline.kernel`) and
+    ``hierarchy`` a memory-hierarchy backend (default: the
+    process-default model, see :mod:`repro.sim.hierarchy_model`).
     """
     if isinstance(organization, str):
         organization = get_organization(organization)
-    return InOrderPipeline(organization, hierarchy_config, kernel=kernel).run(
-        records
-    )
+    return InOrderPipeline(
+        organization, hierarchy_config, kernel=kernel, hierarchy=hierarchy
+    ).run(records)

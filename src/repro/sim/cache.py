@@ -7,9 +7,32 @@ activity study needs: hits, misses, line fills and dirty writebacks.
 
 
 class CacheConfig:
-    """Geometry and identification of one cache level."""
+    """Geometry and identification of one cache level.
+
+    Fields are validated eagerly: zero or negative sizes (which the
+    arithmetic checks below would silently accept — ``0 % n == 0`` and
+    ``0 & -1 == 0``) raise ``ValueError`` naming the offending field
+    here rather than dividing by zero inside an access.
+    """
+
+    #: The accepted constructor keywords, in declaration order.
+    _FIELDS = ("name", "size_bytes", "assoc", "line_bytes")
 
     def __init__(self, name, size_bytes, assoc, line_bytes):
+        for field, value in (
+            ("size_bytes", size_bytes),
+            ("assoc", assoc),
+            ("line_bytes", line_bytes),
+        ):
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value <= 0
+            ):
+                raise ValueError(
+                    "cache config field %r must be a positive integer, got %r"
+                    % (field, value)
+                )
         if size_bytes % (assoc * line_bytes):
             raise ValueError("cache size must be a multiple of assoc * line size")
         self.name = name
@@ -21,6 +44,26 @@ class CacheConfig:
             raise ValueError("number of sets must be a power of two")
         if line_bytes & (line_bytes - 1):
             raise ValueError("line size must be a power of two")
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Build a config from a plain dict, failing closed.
+
+        Unknown keys raise ``ValueError`` naming the offending key, so a
+        typo never silently leaves a field at some other value.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(
+                "cache config payload must be a mapping, got %s"
+                % type(payload).__name__
+            )
+        for key in payload:
+            if key not in cls._FIELDS:
+                raise ValueError("unknown cache config key %r" % (key,))
+        missing = [field for field in cls._FIELDS if field not in payload]
+        if missing:
+            raise ValueError("cache config key %r is missing" % (missing[0],))
+        return cls(**payload)
 
     def __repr__(self):
         return "CacheConfig(%s: %dB, %d-way, %dB lines)" % (

@@ -6,14 +6,46 @@
 
 The hierarchy returns *stall* cycles beyond the 1-cycle pipelined access
 that the IF/MEM stage already accounts for.
+
+:class:`MemoryHierarchy` is the ``reference`` backend of the pluggable
+hierarchy registry (:mod:`repro.sim.hierarchy_model`).  Pipeline kernels
+consume it through the narrow timing protocol (:meth:`ifetch_stall` /
+:meth:`data_stall` / :meth:`classify_block`); the richer per-access
+:class:`AccessResult` path stays for the activity model and for tests
+that inspect individual accesses.
 """
 
 from repro.sim.cache import Cache, CacheConfig
 from repro.sim.tlb import TLB
 
 
+def _require_count(field, value, minimum):
+    """Reject a non-integer or too-small hierarchy config field."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ValueError(
+            "hierarchy config field %r must be an integer >= %d, got %r"
+            % (field, minimum, value)
+        )
+
+
 class HierarchyConfig:
-    """Latency and geometry parameters of the full hierarchy."""
+    """Latency and geometry parameters of the full hierarchy.
+
+    Every field is validated eagerly — a bad value raises ``ValueError``
+    naming the offending field here, at construction, rather than
+    surfacing as an arithmetic error deep inside a simulation.  Use
+    :meth:`from_dict` to build one from plain data; unknown keys fail
+    closed the same way.
+    """
+
+    #: The accepted constructor keywords, in declaration order.
+    _FIELDS = (
+        "l1i", "l1d", "l2",
+        "l2_hit_cycles", "memory_cycles",
+        "itlb_entries", "itlb_assoc",
+        "dtlb_entries", "dtlb_assoc",
+        "tlb_miss_cycles",
+    )
 
     def __init__(
         self,
@@ -28,6 +60,35 @@ class HierarchyConfig:
         dtlb_assoc=4,
         tlb_miss_cycles=30,
     ):
+        for field, value in (("l1i", l1i), ("l1d", l1d), ("l2", l2)):
+            if not isinstance(value, CacheConfig):
+                raise ValueError(
+                    "hierarchy config field %r must be a CacheConfig, got %r"
+                    % (field, value)
+                )
+        for field, value in (
+            ("l2_hit_cycles", l2_hit_cycles),
+            ("memory_cycles", memory_cycles),
+            ("tlb_miss_cycles", tlb_miss_cycles),
+        ):
+            _require_count(field, value, minimum=0)
+        for field, value in (
+            ("itlb_entries", itlb_entries),
+            ("itlb_assoc", itlb_assoc),
+            ("dtlb_entries", dtlb_entries),
+            ("dtlb_assoc", dtlb_assoc),
+        ):
+            _require_count(field, value, minimum=1)
+        if itlb_entries % itlb_assoc:
+            raise ValueError(
+                "hierarchy config field 'itlb_entries' (%d) is not a "
+                "multiple of 'itlb_assoc' (%d)" % (itlb_entries, itlb_assoc)
+            )
+        if dtlb_entries % dtlb_assoc:
+            raise ValueError(
+                "hierarchy config field 'dtlb_entries' (%d) is not a "
+                "multiple of 'dtlb_assoc' (%d)" % (dtlb_entries, dtlb_assoc)
+            )
         self.l1i = l1i
         self.l1d = l1d
         self.l2 = l2
@@ -38,6 +99,31 @@ class HierarchyConfig:
         self.dtlb_entries = dtlb_entries
         self.dtlb_assoc = dtlb_assoc
         self.tlb_miss_cycles = tlb_miss_cycles
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Build a config from a plain dict, failing closed.
+
+        Unknown keys raise ``ValueError`` naming the offending key (the
+        fail-closed style of the result-store ``from_dict`` loaders) —
+        a typo like ``memory_cycle`` must not silently leave the real
+        field at its default.  Cache levels may be given as nested
+        dicts (see :meth:`CacheConfig.from_dict`).
+        """
+        if not isinstance(payload, dict):
+            raise ValueError(
+                "hierarchy config payload must be a mapping, got %s"
+                % type(payload).__name__
+            )
+        for key in payload:
+            if key not in cls._FIELDS:
+                raise ValueError("unknown hierarchy config key %r" % (key,))
+        kwargs = dict(payload)
+        for field in ("l1i", "l1d", "l2"):
+            value = kwargs.get(field)
+            if isinstance(value, dict):
+                kwargs[field] = CacheConfig.from_dict(value)
+        return cls(**kwargs)
 
 
 #: Exactly the configuration of the paper's experimental framework.
@@ -79,6 +165,47 @@ class MemoryHierarchy:
     def access_data(self, address, is_store=False):
         """Data access; returns an :class:`AccessResult`."""
         return self._access(address, self.l1d, self.dtlb, is_store=is_store)
+
+    # ------------------------------------------------- narrow timing protocol
+    #
+    # The pipeline kernels consume every hierarchy backend through these
+    # three methods (see repro.sim.hierarchy_model); they return bare
+    # stall-cycle integers, leaving the AccessResult object path to
+    # consumers that inspect hit/fill/writeback flags per access.
+
+    def ifetch_stall(self, address):
+        """Stall cycles of one instruction fetch at ``address``."""
+        return self._access(
+            address, self.l1i, self.itlb, is_store=False
+        ).stall_cycles
+
+    def data_stall(self, address, is_store=False):
+        """Stall cycles of one data access at ``address``."""
+        return self._access(
+            address, self.l1d, self.dtlb, is_store=is_store
+        ).stall_cycles
+
+    def classify_block(self, records):
+        """Batch API: ``[(ifetch_stall, data_stall), ...]`` per record.
+
+        Records without a memory access report a data stall of 0 (and
+        touch no data-side structure).  State evolves exactly as the
+        equivalent per-record calls would evolve it.
+        """
+        ifetch_stall = self.ifetch_stall
+        data_stall = self.data_stall
+        latencies = []
+        append = latencies.append
+        for record in records:
+            istall = ifetch_stall(record.pc)
+            mem_addr = record.mem_addr
+            append((
+                istall,
+                data_stall(mem_addr, record.mem_is_store)
+                if mem_addr is not None
+                else 0,
+            ))
+        return latencies
 
     def _access(self, address, l1, tlb, is_store):
         stall = 0

@@ -7,6 +7,20 @@ class TLB:
     """A small set-associative LRU TLB over 4KB pages."""
 
     def __init__(self, name, entries, assoc, page_bits=PAGE_BITS):
+        for field, value in (
+            ("entries", entries),
+            ("assoc", assoc),
+            ("page_bits", page_bits),
+        ):
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value <= 0
+            ):
+                raise ValueError(
+                    "TLB field %r must be a positive integer, got %r"
+                    % (field, value)
+                )
         if entries % assoc:
             raise ValueError("entries must be a multiple of associativity")
         self.name = name

@@ -52,6 +52,7 @@ from repro.pipeline.base import InOrderPipeline, PipelineResult
 from repro.pipeline.kernel import default_kernel_name, get_kernel
 from repro.pipeline.organizations import get_organization
 from repro.pipeline.predictor import BimodalPredictor
+from repro.sim.hierarchy_model import default_hierarchy_name, get_hierarchy
 from repro.sim.tracefile import TraceCodecError
 from repro.study.walkers import (
     build_walker,
@@ -68,22 +69,28 @@ BIMODAL_VARIANT = "bimodal"
 
 
 class SimUnit(
-    namedtuple("SimUnit", ("workload", "scale", "organization", "variant", "kernel"))
+    namedtuple(
+        "SimUnit",
+        ("workload", "scale", "organization", "variant", "kernel", "hierarchy"),
+    )
 ):
-    """One pipeline simulation: (workload, scale, organization, variant, kernel).
+    """One pipeline simulation:
+    (workload, scale, organization, variant, kernel, hierarchy).
 
-    ``kernel`` names the simulation backend (``None`` resolves to the
-    process default at construction, so units built by experiment specs
-    and units built by runners always agree).  Because the kernel is
-    part of the unit identity — and of :meth:`descriptor`, hence of
-    every persistent result-store key — cached results from different
+    ``kernel`` names the simulation backend and ``hierarchy`` the
+    memory-hierarchy backend (``None`` resolves each to its process
+    default at construction, so units built by experiment specs and
+    units built by runners always agree).  Because both names are part
+    of the unit identity — and of :meth:`descriptor`, hence of every
+    persistent result-store key — cached results from different
     backends can never mix.
     """
 
     __slots__ = ()
     kind = "pipeline"
 
-    def __new__(cls, workload, scale, organization, variant=None, kernel=None):
+    def __new__(cls, workload, scale, organization, variant=None, kernel=None,
+                hierarchy=None):
         if variant not in (None, BIMODAL_VARIANT):
             raise ValueError("unknown simulation variant %r" % (variant,))
         if kernel is None:
@@ -93,7 +100,16 @@ class SimUnit(
                 get_kernel(kernel)  # unknown names fail here, not at compute
             except KeyError as error:
                 raise ValueError(str(error))
-        return super().__new__(cls, workload, scale, organization, variant, kernel)
+        if hierarchy is None:
+            hierarchy = default_hierarchy_name()
+        else:
+            try:
+                get_hierarchy(hierarchy)  # unknown names fail here too
+            except KeyError as error:
+                raise ValueError(str(error))
+        return super().__new__(
+            cls, workload, scale, organization, variant, kernel, hierarchy
+        )
 
     def descriptor(self):
         """JSON-able identity for the persistent result store."""
@@ -102,6 +118,7 @@ class SimUnit(
             "organization": self.organization,
             "variant": self.variant,
             "kernel": self.kernel,
+            "hierarchy": self.hierarchy,
         }
 
     def slug(self):
@@ -122,9 +139,11 @@ class ActivityUnit(namedtuple("ActivityUnit", ("workload", "scale", "config"))):
     kind = "activity"
 
     def descriptor(self):
+        """JSON-able identity for the persistent result store."""
         return {"kind": self.kind, "config": list(self.config)}
 
     def slug(self):
+        """Filename-safe unit name."""
         scheme_name, pc_block_bits, _latch_boundaries, ext_in_memory = self.config
         return "activity-%s-pc%d%s" % (
             scheme_name,
@@ -133,6 +152,7 @@ class ActivityUnit(namedtuple("ActivityUnit", ("workload", "scale", "config"))):
         )
 
     def label(self):
+        """Human-readable counter key."""
         return "%s@%d/%s" % (self.workload, self.scale, self.slug())
 
 
@@ -143,12 +163,15 @@ class FetchUnit(namedtuple("FetchUnit", ("workload", "scale"))):
     kind = "fetch"
 
     def descriptor(self):
+        """JSON-able identity for the persistent result store."""
         return {"kind": self.kind}
 
     def slug(self):
+        """Filename-safe unit name."""
         return "fetch"
 
     def label(self):
+        """Human-readable counter key."""
         return "%s@%d/fetch" % (self.workload, self.scale)
 
 
@@ -169,12 +192,15 @@ class WalkUnit(namedtuple("WalkUnit", ("workload", "scale", "walker"))):
         return super().__new__(cls, workload, scale, walker)
 
     def descriptor(self):
+        """JSON-able identity for the persistent result store."""
         return {"kind": self.kind, "walker": spec_jsonable(self.walker)}
 
     def slug(self):
+        """Filename-safe unit name."""
         return "walk-%s" % walker_slug(self.walker)
 
     def label(self):
+        """Human-readable counter key."""
         return "%s@%d/%s" % (self.workload, self.scale, self.slug())
 
 
@@ -192,12 +218,15 @@ class AnalysisUnit(namedtuple("AnalysisUnit", ("workload", "scale"))):
     kind = "analyze"
 
     def descriptor(self):
+        """JSON-able identity for the persistent result store."""
         return {"kind": self.kind, "version": ANALYSIS_VERSION}
 
     def slug(self):
+        """Filename-safe unit name."""
         return "analyze"
 
     def label(self):
+        """Human-readable counter key."""
         return "%s@%d/analyze" % (self.workload, self.scale)
 
 
@@ -295,13 +324,20 @@ class ResultBroker:
     * :attr:`disk_hits` — units loaded from the persistent store.
     """
 
-    def __init__(self, trace_store, result_store=None, kernel=None):
+    def __init__(self, trace_store, result_store=None, kernel=None,
+                 hierarchy=None):
         self.traces = trace_store
         self.store = result_store
         #: Pipeline kernel this broker schedules with.  Session-scoped:
         #: requests and run_units pin it on every SimUnit, so a broker
         #: never mixes backends no matter what the process default is.
         self.kernel = kernel if kernel is not None else default_kernel_name()
+        #: Memory-hierarchy backend, pinned the same way: part of every
+        #: SimUnit identity this broker schedules, so cached results
+        #: from different hierarchy models never mix either.
+        self.hierarchy = (
+            hierarchy if hierarchy is not None else default_hierarchy_name()
+        )
         self._memo = {}
         self._workloads = {}
         #: unit label -> count, mirroring TraceStore's counter style.
@@ -314,18 +350,27 @@ class ResultBroker:
         #: pipeline simulations this broker computed (including, via
         #: run_units, ones computed inside its forked workers).
         self.sim_seconds = {}
+        #: hierarchy name -> summed simulation wall seconds: the same
+        #: measurements bucketed by memory-hierarchy backend (the
+        #: ``hierarchy_seconds`` counter of the JSON report).
+        self.hierarchy_seconds = {}
 
     # ------------------------------------------------------------- requests
 
     def pipeline_result(self, workload, organization, scale=1, variant=None,
-                        kernel=None):
+                        kernel=None, hierarchy=None):
         """Memoized ``simulate(organization, trace)`` for one workload.
 
-        ``kernel`` defaults to the broker's own (session-scoped) kernel.
+        ``kernel`` and ``hierarchy`` default to the broker's own
+        (session-scoped) backends.
         """
         if kernel is None:
             kernel = self.kernel
-        unit = SimUnit(workload.name, scale, organization, variant, kernel)
+        if hierarchy is None:
+            hierarchy = self.hierarchy
+        unit = SimUnit(
+            workload.name, scale, organization, variant, kernel, hierarchy
+        )
         return self._ensure(unit, workload)
 
     def activity_report(self, model, workload, scale=1):
@@ -401,16 +446,22 @@ class ResultBroker:
         once, so forked workers inherit them; a fully warm run therefore
         touches no trace at all — zero decodes, zero walks.
 
-        Simulation units are re-pinned to the broker's kernel: the
-        experiment specs build them without a session reference, so
-        this is where the session's ``--kernel`` choice takes effect.
+        Simulation units are re-pinned to the broker's kernel and
+        hierarchy: the experiment specs build them without a session
+        reference, so this is where the session's ``--kernel`` /
+        ``--hierarchy`` choices take effect.
         """
         pending = []
         walk_groups = {}
         seen = set()
         for unit in units:
-            if isinstance(unit, SimUnit) and unit.kernel != self.kernel:
-                unit = unit._replace(kernel=self.kernel)
+            if isinstance(unit, SimUnit) and (
+                unit.kernel != self.kernel
+                or unit.hierarchy != self.hierarchy
+            ):
+                unit = unit._replace(
+                    kernel=self.kernel, hierarchy=self.hierarchy
+                )
             if unit in self._memo or unit in seen:
                 # Served by the memo (or by the pending compute below).
                 self._count(self._hit_counter(unit), unit)
@@ -461,7 +512,8 @@ class ResultBroker:
             else:
                 if seconds is not None:
                     self._record_sim_time(
-                        task.kernel, seconds, result.instructions
+                        task.kernel, task.hierarchy, seconds,
+                        result.instructions,
                     )
                 self._install(task, workloads_by_name[task.workload], result)
                 computed += 1
@@ -560,7 +612,9 @@ class ResultBroker:
         """
         result, seconds = self._compute_timed(unit, workload)
         if seconds is not None:
-            self._record_sim_time(unit.kernel, seconds, result.instructions)
+            self._record_sim_time(
+                unit.kernel, unit.hierarchy, seconds, result.instructions
+            )
         return result
 
     def _walk_group(self, workload, scale, units):
@@ -605,7 +659,8 @@ class ResultBroker:
                 BimodalPredictor() if unit.variant == BIMODAL_VARIANT else None
             )
             pipeline = InOrderPipeline(
-                organization, predictor=predictor, kernel=unit.kernel
+                organization, predictor=predictor, kernel=unit.kernel,
+                hierarchy=unit.hierarchy,
             )
             started = time.perf_counter()
             result = pipeline.run(records)
@@ -620,13 +675,16 @@ class ResultBroker:
             stats.record(record.instr)
         return stats, None
 
-    def _record_sim_time(self, kernel, seconds, instructions):
+    def _record_sim_time(self, kernel, hierarchy, seconds, instructions):
         timing = self.sim_seconds.setdefault(
             kernel, {"units": 0, "seconds": 0.0, "instructions": 0}
         )
         timing["units"] += 1
         timing["seconds"] += seconds
         timing["instructions"] += instructions
+        self.hierarchy_seconds[hierarchy] = (
+            self.hierarchy_seconds.get(hierarchy, 0.0) + seconds
+        )
 
     def _install(self, unit, workload, result):
         """Memoize a freshly computed result and write it back to disk."""
@@ -659,23 +717,27 @@ def _records(workload, scale, store):
 
 
 def resolve_pipeline_result(workload, scale, organization, store=None,
-                            variant=None, kernel=None):
+                            variant=None, kernel=None, hierarchy=None):
     """A (memoized, when possible) PipelineResult for one unit.
 
     With a broker-carrying store (``store.results``) the request goes
     through the unit scheduler; otherwise it simulates directly, exactly
     as the pre-subsystem imperative call sites did.  ``kernel`` names a
-    simulation backend (default: the process-default kernel).
+    simulation backend and ``hierarchy`` a memory-hierarchy backend
+    (defaults: the process-default kernel and hierarchy).
     """
     broker = getattr(store, "results", None) if store is not None else None
     if broker is not None:
         return broker.pipeline_result(
-            workload, organization, scale=scale, variant=variant, kernel=kernel
+            workload, organization, scale=scale, variant=variant,
+            kernel=kernel, hierarchy=hierarchy,
         )
     records = _records(workload, scale, store)
     org = get_organization(organization)
     predictor = BimodalPredictor() if variant == BIMODAL_VARIANT else None
-    return InOrderPipeline(org, predictor=predictor, kernel=kernel).run(records)
+    return InOrderPipeline(
+        org, predictor=predictor, kernel=kernel, hierarchy=hierarchy
+    ).run(records)
 
 
 def resolve_activity_report(model, workload, scale, store=None):

@@ -226,8 +226,9 @@ class ExperimentSession:
     """
 
     def __init__(self, workloads=None, scale=1, store=None, cache_dir=None,
-                 kernel=None):
+                 kernel=None, hierarchy=None):
         from repro.pipeline.kernel import default_kernel_name
+        from repro.sim.hierarchy_model import default_hierarchy_name
         from repro.study.scheduler import ResultBroker
 
         self.workloads = (
@@ -254,6 +255,11 @@ class ExperimentSession:
                 self.store,
                 result_store,
                 kernel=kernel if kernel is not None else default_kernel_name(),
+                hierarchy=(
+                    hierarchy
+                    if hierarchy is not None
+                    else default_hierarchy_name()
+                ),
             )
         elif kernel is not None and self.store.results.kernel != kernel:
             # A pre-built broker pins its own kernel; silently simulating
@@ -262,6 +268,12 @@ class ExperimentSession:
             raise ValueError(
                 "store already carries a broker for kernel %r; "
                 "requested %r" % (self.store.results.kernel, kernel)
+            )
+        elif hierarchy is not None and self.store.results.hierarchy != hierarchy:
+            # Same rule for the memory-hierarchy backend.
+            raise ValueError(
+                "store already carries a broker for hierarchy %r; "
+                "requested %r" % (self.store.results.hierarchy, hierarchy)
             )
         #: The unit scheduler: memoizes per-(workload, organization)
         #: simulation/analysis results over this session's trace store.
@@ -272,6 +284,9 @@ class ExperimentSession:
         #: can run different backends.  Resolving the default eagerly
         #: also validates $REPRO_KERNEL before any trace work.
         self.kernel = self.results.kernel
+        #: Name of the memory-hierarchy backend this session simulates
+        #: with (same session-scoped pinning as :attr:`kernel`).
+        self.hierarchy = self.results.hierarchy
 
     # ------------------------------------------------------------ scheduling
 
@@ -472,6 +487,7 @@ class ExperimentSession:
                 self.store.cache.root if self.store.cache is not None else None
             ),
             "kernel": self.kernel,
+            "hierarchy": self.hierarchy,
             "sim_hits": dict(sorted(self.results.sim_hits.items())),
             "sim_misses": dict(sorted(self.results.sim_misses.items())),
             "walk_hits": dict(sorted(self.results.walk_hits.items())),
@@ -488,6 +504,12 @@ class ExperimentSession:
                     ),
                 }
                 for kernel, timing in sorted(self.results.sim_seconds.items())
+            },
+            "hierarchy_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(
+                    self.results.hierarchy_seconds.items()
+                )
             },
             "result_disk_hits": dict(sorted(self.results.disk_hits.items())),
             "result_store_dir": (

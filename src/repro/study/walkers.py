@@ -151,12 +151,14 @@ class PatternWalker(TraceWalker):
         self.significant_blocks += blocks
 
     def feed(self, record):
+        """Fold one trace record into the walker state."""
         for value in record.read_values:
             self._record_value(value)
         if self.include_writes and record.write_value is not None:
             self._record_value(record.write_value)
 
     def finish(self):
+        """The JSON-able per-workload payload (see :func:`wrap_payload`)."""
         return {
             "scheme": self.scheme.name,
             "counts": [[pattern, count] for pattern, count in self.counts.items()],
@@ -211,6 +213,7 @@ class PCWalker(TraceWalker):
         self.previous = None
 
     def feed(self, record):
+        """Fold one trace record into the walker state."""
         pc = record.pc
         previous = self.previous
         self.previous = pc
@@ -235,6 +238,7 @@ class PCWalker(TraceWalker):
                 model.increment()
 
     def finish(self):
+        """The JSON-able per-workload payload (see :func:`wrap_payload`)."""
         post = {}
         final_pc = None
         if self.models is not None:
@@ -322,6 +326,7 @@ class SchemeBitsWalker(_StoredBitsWalker):
         super().__init__(SCHEMES[name] for name in self.scheme_names)
 
     def finish(self):
+        """The JSON-able per-workload payload (see :func:`wrap_payload`)."""
         return {
             "scheme_names": list(self.scheme_names),
             "values": self.values,
@@ -341,6 +346,7 @@ class SegmentBitsWalker(_StoredBitsWalker):
         )
 
     def finish(self):
+        """The JSON-able per-workload payload (see :func:`wrap_payload`)."""
         return {
             "segmentations": [list(s) for s in self.segmentations],
             "values": self.values,

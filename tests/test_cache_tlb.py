@@ -221,3 +221,168 @@ class TestMemoryHierarchy:
         assert PAPER_HIERARCHY.memory_cycles == 30
         assert PAPER_HIERARCHY.itlb_entries == 16
         assert PAPER_HIERARCHY.dtlb_entries == 32
+
+
+class TestTLBEvictionOrder:
+    def test_lru_not_fifo(self):
+        # Re-touching the oldest entry must move it to MRU: after the
+        # set overflows, the victim is the least-recently *used* page,
+        # not the first-installed one.
+        tlb = TLB("t", 4, 4)  # one fully associative set
+        for page in (0, 1, 2, 3):
+            tlb.access(page << 12)
+        tlb.access(0 << 12)       # page 0 becomes MRU; page 1 is now LRU
+        tlb.access(4 << 12)       # evicts page 1
+        assert tlb.access(0 << 12)      # survived
+        assert not tlb.access(1 << 12)  # evicted (this re-installs it)
+
+    def test_hit_promotes_within_full_set(self):
+        tlb = TLB("t", 4, 4)
+        for page in (0, 1, 2, 3):
+            tlb.access(page << 12)
+        # Touch in reverse: LRU order becomes 3, 2, 1, 0 (0 is MRU last).
+        for page in (3, 2, 1, 0):
+            assert tlb.access(page << 12)
+        tlb.access(4 << 12)  # evicts page 3, the coldest after reversal
+        assert not tlb.access(3 << 12)
+
+    def test_eviction_is_per_set(self):
+        # Pages landing in different sets never evict each other.
+        tlb = TLB("t", 8, 4)  # 2 sets
+        even = [(page << 1) << 12 for page in range(4)]   # set 0, 4 ways
+        odd = ((1 << 1) | 1) << 12                        # set 1
+        for address in even:
+            tlb.access(address)
+        tlb.access(odd)
+        for address in even:  # set 0 still intact
+            assert tlb.access(address)
+
+
+class TestCacheSetBoundaryAliasing:
+    def test_set_wraparound_aliases(self):
+        # 8KB DM, 32B lines: 256 sets.  Addresses one full cache apart
+        # alias to the same set with different tags.
+        cache = make_cache()
+        stride = 256 * 32
+        cache.access(0x0000)
+        hit, _ = cache.access(stride)      # same set 0, different tag
+        assert not hit
+        hit, _ = cache.access(0x0000)      # original line was evicted
+        assert not hit
+
+    def test_last_set_first_set_are_distinct(self):
+        # The last line of one cache-sized span and the first line of
+        # the next span sit in *different* sets — off-by-one set-index
+        # masks would collapse them.
+        cache = make_cache()
+        last_set = 255 * 32
+        next_span_first = 256 * 32
+        cache.access(last_set)
+        hit, _ = cache.access(next_span_first)
+        assert not hit                     # different set: cold miss
+        assert cache.contains(last_set)    # and no eviction of set 255
+
+    def test_line_boundary_is_not_a_set_boundary(self):
+        # The last byte of a line and the first byte of the next line
+        # fall in adjacent sets (DM): both fit concurrently.
+        cache = make_cache()
+        cache.access(0x103F)  # set 129's line
+        cache.access(0x1040)  # set 130's line
+        assert cache.contains(0x103F)
+        assert cache.contains(0x1040)
+
+    def test_associative_tags_disambiguate_aliases(self):
+        cache = make_cache(assoc=2)  # 128 sets x 2 ways
+        stride = 128 * 32
+        cache.access(0x0000)
+        cache.access(stride)           # same set, second way
+        assert cache.contains(0x0000)
+        assert cache.contains(stride)
+        assert cache.misses == 2
+
+
+class TestDegenerateConfigsRejected:
+    @pytest.mark.parametrize("field,value", [
+        ("size_bytes", 0), ("size_bytes", -8192), ("size_bytes", True),
+        ("assoc", 0), ("assoc", -1),
+        ("line_bytes", 0), ("line_bytes", 32.0),
+    ])
+    def test_cache_config_degenerate_fields(self, field, value):
+        kwargs = {"name": "bad", "size_bytes": 8192, "assoc": 1,
+                  "line_bytes": 32}
+        kwargs[field] = value
+        with pytest.raises(ValueError) as excinfo:
+            CacheConfig(**kwargs)
+        assert field in str(excinfo.value)
+
+    @pytest.mark.parametrize("field,value", [
+        ("entries", 0), ("entries", -16), ("assoc", 0),
+        ("page_bits", 0), ("page_bits", False),
+    ])
+    def test_tlb_degenerate_fields(self, field, value):
+        kwargs = {"entries": 16, "assoc": 4, "page_bits": 12}
+        kwargs[field] = value
+        with pytest.raises(ValueError) as excinfo:
+            TLB("t", **kwargs)
+        assert field in str(excinfo.value)
+
+    @pytest.mark.parametrize("field,value", [
+        ("l2_hit_cycles", -1), ("memory_cycles", "30"),
+        ("tlb_miss_cycles", -5), ("itlb_entries", 0),
+        ("dtlb_assoc", 0), ("l1i", "not-a-cache"),
+    ])
+    def test_hierarchy_degenerate_fields(self, field, value):
+        with pytest.raises(ValueError) as excinfo:
+            HierarchyConfig(**{field: value})
+        assert field in str(excinfo.value)
+
+    def test_hierarchy_entries_assoc_mismatch_names_both(self):
+        with pytest.raises(ValueError) as excinfo:
+            HierarchyConfig(itlb_entries=16, itlb_assoc=3)
+        message = str(excinfo.value)
+        assert "itlb_entries" in message
+        assert "itlb_assoc" in message
+
+    def test_zero_latency_config_is_valid(self):
+        # The perfect-memory configs tests use must keep working.
+        config = HierarchyConfig(
+            l2_hit_cycles=0, memory_cycles=0, tlb_miss_cycles=0
+        )
+        assert MemoryHierarchy(config).ifetch_stall(0x00400000) == 0
+
+
+class TestConfigFromDict:
+    def test_cache_unknown_key(self):
+        with pytest.raises(ValueError) as excinfo:
+            CacheConfig.from_dict(
+                {"name": "x", "size_bytes": 8192, "assoc": 1,
+                 "line_bytes": 32, "lines": 64}
+            )
+        assert "lines" in str(excinfo.value)
+
+    def test_cache_missing_key(self):
+        with pytest.raises(ValueError) as excinfo:
+            CacheConfig.from_dict({"name": "x", "size_bytes": 8192})
+        assert "missing" in str(excinfo.value)
+
+    def test_hierarchy_unknown_key(self):
+        # The fail-closed point: a typo must not silently leave the
+        # real field at its default.
+        with pytest.raises(ValueError) as excinfo:
+            HierarchyConfig.from_dict({"memory_cycle": 10})
+        assert "memory_cycle" in str(excinfo.value)
+
+    def test_hierarchy_non_mapping(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig.from_dict([("memory_cycles", 10)])
+
+    def test_hierarchy_nested_cache_dicts(self):
+        config = HierarchyConfig.from_dict({
+            "l2": {"name": "L2", "size_bytes": 128 * 1024, "assoc": 8,
+                   "line_bytes": 32},
+            "memory_cycles": 40,
+        })
+        assert config.l2.size_bytes == 128 * 1024
+        assert config.l2.assoc == 8
+        assert config.memory_cycles == 40
+        assert config.l2_hit_cycles == 6  # untouched default

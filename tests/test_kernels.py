@@ -39,6 +39,7 @@ from repro.pipeline.kernel import (
 )
 from repro.pipeline.organizations import ByteSerialOrg
 from repro.pipeline.predictor import BimodalPredictor
+from repro.sim.hierarchy_model import ENV_HIERARCHY, MEMO_HIERARCHY
 from repro.study.scheduler import BIMODAL_VARIANT, SimUnit
 from repro.study.result_store import ResultStore
 from repro.workloads import get_workload
@@ -65,6 +66,7 @@ def _neutral_kernel_selection(monkeypatch):
     # process default is restored afterwards because set_default_kernel
     # (exercised directly and via the --kernel CLI flag) is global.
     monkeypatch.delenv(ENV_KERNEL, raising=False)
+    monkeypatch.delenv(ENV_HIERARCHY, raising=False)
     yield
     set_default_kernel(None)
 
@@ -228,6 +230,7 @@ class TestKernelKeying:
             "organization": "baseline32",
             "variant": BIMODAL_VARIANT,
             "kernel": TABULAR_KERNEL,
+            "hierarchy": MEMO_HIERARCHY,
         }
 
     def test_store_entries_do_not_mix_kernels(self, tmp_path):

@@ -12,11 +12,22 @@ scheme honest, and both have failed silently before they were checked:
    new module fails this check until its author decides whether editing
    it must invalidate cached traces/results.
 
-2. **Versioned payload envelopes** — every registered trace walker and
-   pipeline kernel must produce payloads that ride inside a versioned
-   envelope (a ``version`` key stamped from a module constant and
-   checked on load), so layout changes fail closed as cache misses
-   instead of deserializing garbage.
+2. **Versioned payload envelopes** — every registered trace walker,
+   pipeline kernel and hierarchy model must produce payloads that ride
+   inside a versioned envelope (a ``version`` key stamped from a module
+   constant and checked on load), so layout changes fail closed as
+   cache misses instead of deserializing garbage.
+
+Two documentation invariants ride along:
+
+3. **CLI doc sync** — the generated section of ``docs/CLI.md`` must
+   name exactly the option strings that ``repro.cli``'s parser builders
+   define (both directions), so the reference cannot rot.
+
+4. **Protocol docstrings** — the public protocol-surface modules (the
+   same list ruff's ``D`` rules cover in ``pyproject.toml``) must
+   docstring every public module/class/function/method, so the checked
+   docs work even where ruff is not installed.
 
 Everything here is AST-based: the checker parses sources, it never
 imports ``repro`` (so it runs before the package does, and a syntax
@@ -366,12 +377,200 @@ def check_registered_kernels(errors):
         )
 
 
+def check_registered_hierarchies(errors):
+    """Invariant 2d: every @register_hierarchy class is name-tagged."""
+    relative_path = "src/repro/sim/hierarchy_model.py"
+    tree = _parse(relative_path)
+    registered = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+        and any(
+            isinstance(decorator, ast.Name)
+            and decorator.id == "register_hierarchy"
+            for decorator in node.decorator_list
+        )
+    ]
+    if not registered:
+        errors.append(
+            "%s: found no @register_hierarchy classes" % relative_path
+        )
+        return
+    constants = _module_string_constants(tree)
+    names = []
+    for class_node in registered:
+        name = _class_string_attr(class_node, "name", constants)
+        if name is None:
+            errors.append(
+                "%s: registered hierarchy %s has no string `name` class "
+                "attribute (its results cannot be keyed per backend)"
+                % (relative_path, class_node.name)
+            )
+        else:
+            names.append(name)
+    duplicates = {name for name in names if names.count(name) > 1}
+    for name in sorted(duplicates):
+        errors.append(
+            "%s: hierarchy name %r registered more than once"
+            % (relative_path, name)
+        )
+
+
+#: Parser-builder functions in repro.cli whose add_argument() calls
+#: define the documented CLI surface.
+CLI_PARSER_BUILDERS = ("build_parser", "build_cache_parser",
+                      "build_analyze_parser")
+
+#: Markers delimiting the generated option reference in docs/CLI.md.
+CLI_DOC_BEGIN = "<!-- generated:cli-options:begin -->"
+CLI_DOC_END = "<!-- generated:cli-options:end -->"
+
+
+def _cli_option_strings():
+    """Every ``--option`` string a repro.cli parser builder defines."""
+    tree = _parse("src/repro/cli.py")
+    builders = {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+    options = set()
+    # _add_cache_dir_option is shared by every builder; charge its
+    # options to the common pool rather than tracing call edges.
+    for name in CLI_PARSER_BUILDERS + ("_add_cache_dir_option",):
+        builder = builders.get(name)
+        if builder is None:
+            continue
+        for node in ast.walk(builder):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+                and node.args[0].value.startswith("--")
+            ):
+                options.add(node.args[0].value)
+    return options
+
+
+def check_cli_docs(errors):
+    """Invariant 3: docs/CLI.md's generated section matches the parsers."""
+    import re
+
+    doc_path = "docs/CLI.md"
+    full_path = os.path.join(REPO_ROOT, doc_path)
+    if not os.path.exists(full_path):
+        errors.append("%s: file missing" % doc_path)
+        return
+    with open(full_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    begin = text.find(CLI_DOC_BEGIN)
+    end = text.find(CLI_DOC_END)
+    if begin < 0 or end < 0 or end < begin:
+        errors.append(
+            "%s: generated section markers %r / %r missing or reordered"
+            % (doc_path, CLI_DOC_BEGIN, CLI_DOC_END)
+        )
+        return
+    section = text[begin:end]
+    documented = set(re.findall(r"`(--[a-z][a-z-]*)`", section))
+    defined = _cli_option_strings()
+    if not defined:
+        errors.append("src/repro/cli.py: found no add_argument options")
+        return
+    for option in sorted(defined - documented):
+        errors.append(
+            "%s: option %s is defined in repro.cli but absent from the "
+            "generated section" % (doc_path, option)
+        )
+    for option in sorted(documented - defined):
+        errors.append(
+            "%s: option %s is documented but no repro.cli parser defines "
+            "it" % (doc_path, option)
+        )
+
+
+#: Protocol-surface modules whose public API must be fully docstringed.
+#: Keep in sync with the negated ruff per-file-ignores pattern in
+#: pyproject.toml (this check also verifies that sync).
+DOCSTRING_MODULES = (
+    "src/repro/pipeline/kernel.py",
+    "src/repro/sim/hierarchy_model.py",
+    "src/repro/study/scheduler.py",
+    "src/repro/study/result_store.py",
+    "src/repro/study/walkers.py",
+)
+
+
+def check_docstrings(errors):
+    """Invariant 4: protocol surfaces docstring every public definition.
+
+    Mirrors ruff rules D100-D103 over :data:`DOCSTRING_MODULES` so the
+    invariant holds in environments without ruff, and checks that every
+    module here is named by pyproject's negated ``D`` ignore pattern.
+    """
+    for relative_path in DOCSTRING_MODULES:
+        if not os.path.exists(os.path.join(REPO_ROOT, relative_path)):
+            errors.append("%s: file missing" % relative_path)
+            continue
+        tree = _parse(relative_path)
+        if not ast.get_docstring(tree):
+            errors.append("%s: missing module docstring" % relative_path)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and not node.name.startswith(
+                "_"
+            ):
+                if not ast.get_docstring(node):
+                    errors.append(
+                        "%s: public class %s has no docstring"
+                        % (relative_path, node.name)
+                    )
+                for item in node.body:
+                    if (
+                        isinstance(item, ast.FunctionDef)
+                        and not item.name.startswith("_")
+                        and not ast.get_docstring(item)
+                    ):
+                        errors.append(
+                            "%s: public method %s.%s has no docstring"
+                            % (relative_path, node.name, item.name)
+                        )
+        for node in tree.body:
+            if (
+                isinstance(node, ast.FunctionDef)
+                and not node.name.startswith("_")
+                and not ast.get_docstring(node)
+            ):
+                errors.append(
+                    "%s: public function %s has no docstring"
+                    % (relative_path, node.name)
+                )
+    pyproject = os.path.join(REPO_ROOT, "pyproject.toml")
+    with open(pyproject, "r", encoding="utf-8") as handle:
+        ignore_lines = [
+            line for line in handle if line.lstrip().startswith('"!')
+        ]
+    pattern = "".join(ignore_lines)
+    for relative_path in DOCSTRING_MODULES:
+        stem = os.path.basename(relative_path)[: -len(".py")]
+        if stem not in pattern:
+            errors.append(
+                "pyproject.toml: ruff docstring scope does not name %s "
+                "(keep it in sync with DOCSTRING_MODULES)" % stem
+            )
+
+
 def main():
     errors = []
     check_fingerprint_coverage(errors)
     check_version_envelopes(errors)
     check_registered_walkers(errors)
     check_registered_kernels(errors)
+    check_registered_hierarchies(errors)
+    check_cli_docs(errors)
+    check_docstrings(errors)
     if errors:
         for error in errors:
             print("check_invariants: %s" % error, file=sys.stderr)

@@ -17,6 +17,7 @@ backend (the reference-vs-memo speedup, same artifact).
 
 import pytest
 
+from repro.obs.metrics import MetricsRegistry
 from repro.pipeline import InOrderPipeline, get_organization, kernel_names
 from repro.sim import tracefile
 from repro.sim.hierarchy_model import get_hierarchy, hierarchy_names
@@ -39,6 +40,24 @@ _KERNEL_BENCH_TRACES = None
 
 def _workloads():
     return [get_workload(name) for name in RUNNER_WORKLOADS]
+
+
+def _metrics_extra_info(benchmark, **facts):
+    """Attach a case's facts both flat and in the shared metrics schema.
+
+    The flat ``extra_info`` keys stay (the rate comments below compute
+    from them); ``extra_info["metrics"]`` carries the same facts as a
+    versioned :meth:`~repro.obs.metrics.MetricsRegistry.jsonable`
+    snapshot, so the benchmark JSON artifact and the run manifests under
+    ``<cache_dir>/runs/`` share one machine-readable schema.
+    """
+    registry = MetricsRegistry()
+    for name, value in sorted(facts.items()):
+        benchmark.extra_info[name] = value
+        registry.gauge("bench_" + name, "benchmark case fact").set(
+            benchmark.name, value
+        )
+    benchmark.extra_info["metrics"] = registry.jsonable()
 
 
 def _kernel_bench_traces():
@@ -134,8 +153,9 @@ def test_kernel_sim_throughput(benchmark, kernel):
         return instructions
 
     instructions = benchmark.pedantic(run, rounds=3, iterations=1)
-    benchmark.extra_info["kernel"] = kernel
-    benchmark.extra_info["instructions_per_round"] = instructions
+    _metrics_extra_info(
+        benchmark, kernel=kernel, instructions_per_round=instructions
+    )
     assert instructions > 0
 
 
@@ -159,8 +179,9 @@ def test_hierarchy_sim_throughput(benchmark, hierarchy):
         return accesses
 
     accesses = benchmark.pedantic(run, rounds=3, iterations=1)
-    benchmark.extra_info["hierarchy"] = hierarchy
-    benchmark.extra_info["accesses_per_round"] = accesses
+    _metrics_extra_info(
+        benchmark, hierarchy=hierarchy, accesses_per_round=accesses
+    )
     assert accesses > 0
 
 
@@ -184,8 +205,9 @@ def test_hierarchy_full_sim_throughput(benchmark, hierarchy):
         return instructions
 
     instructions = benchmark.pedantic(run, rounds=3, iterations=1)
-    benchmark.extra_info["hierarchy"] = hierarchy
-    benchmark.extra_info["instructions_per_round"] = instructions
+    _metrics_extra_info(
+        benchmark, hierarchy=hierarchy, instructions_per_round=instructions
+    )
     assert instructions > 0
 
 
@@ -208,8 +230,9 @@ def test_analyzer_throughput(benchmark, workload_name):
 
     summary = benchmark.pedantic(run, rounds=3, iterations=1)
     instructions = summary["cfg"]["instructions"]
-    benchmark.extra_info["workload"] = workload_name
-    benchmark.extra_info["instructions_per_round"] = instructions
+    _metrics_extra_info(
+        benchmark, workload=workload_name, instructions_per_round=instructions
+    )
     assert summary["lints"]["total"] == 0
     assert instructions > 0
 
@@ -236,7 +259,7 @@ def test_decode_throughput_list(benchmark, tmp_path):
         return len(records)
 
     decoded = benchmark.pedantic(run, rounds=3, iterations=1)
-    benchmark.extra_info["records_per_round"] = decoded
+    _metrics_extra_info(benchmark, records_per_round=decoded)
     assert decoded == count
 
 
@@ -252,7 +275,7 @@ def test_decode_throughput_stream(benchmark, tmp_path):
         return decoded
 
     decoded = benchmark.pedantic(run, rounds=3, iterations=1)
-    benchmark.extra_info["records_per_round"] = decoded
+    _metrics_extra_info(benchmark, records_per_round=decoded)
     assert decoded == count
 
 

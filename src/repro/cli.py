@@ -13,6 +13,7 @@ Examples::
     repro all --kernel reference    # same output, oracle simulation backend
     repro all --hierarchy reference # same output, oracle memory hierarchy
     repro all --cache-dir .cache    # persist traces + results across processes
+    repro all --trace-out run.json  # Chrome trace-event timeline (Perfetto)
     repro cache info                # trace-cache and result-store statistics
     repro cache clear               # drop every cached trace and result
     repro cache clear --results     # drop cached results, keep traces
@@ -26,12 +27,20 @@ result store) defaults to the ``REPRO_CACHE_DIR`` environment variable;
 ``REPRO_KERNEL`` environment variable; ``--kernel`` overrides it.  The
 memory-hierarchy backend defaults to ``REPRO_HIERARCHY``;
 ``--hierarchy`` overrides it.
+
+``--trace-out FILE`` (every subcommand) records a Chrome trace-event
+timeline of the run — session phases, broker batches, per-unit cache
+resolution and raw compute spans — viewable in Perfetto or
+``chrome://tracing``.  Cache-backed runs additionally write a manifest
+(config, engine fingerprints, final metrics snapshot) under
+``<cache_dir>/runs/``; ``repro cache info`` reports them.
 """
 
 import argparse
 import json
 import sys
 
+from repro.obs import runlog, tracing
 from repro.pipeline.kernel import (
     ENV_KERNEL,
     default_kernel_name,
@@ -120,6 +129,7 @@ def build_parser():
         ),
     )
     _add_cache_dir_option(parser)
+    _add_trace_out_option(parser)
     return parser
 
 
@@ -130,6 +140,18 @@ def _add_cache_dir_option(parser):
         help=(
             "persistent trace-cache directory (default: $%s when set); "
             "warm runs skip simulation entirely" % ENV_CACHE_DIR
+        ),
+    )
+
+
+def _add_trace_out_option(parser):
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a Chrome trace-event JSON timeline of this run to FILE "
+            "(open in Perfetto or chrome://tracing)"
         ),
     )
 
@@ -162,6 +184,7 @@ def build_cache_parser():
         help="for 'clear': delete cached results (default: traces and results)",
     )
     _add_cache_dir_option(parser)
+    _add_trace_out_option(parser)
     return parser
 
 
@@ -202,18 +225,55 @@ def build_analyze_parser():
         ),
     )
     _add_cache_dir_option(parser)
+    _add_trace_out_option(parser)
     return parser
+
+
+def _install_tracer(args):
+    """Install a fresh tracer when ``--trace-out`` was given, else None."""
+    if args.trace_out is None:
+        return None
+    return tracing.start_trace()
+
+
+def _finish_tracer(tracer, args):
+    """Uninstall ``tracer`` and export it to the ``--trace-out`` file."""
+    if tracer is None:
+        return
+    tracing.set_tracer(None)
+    tracer.export(args.trace_out)
+
+
+def _write_runlog(cache_dir, command, args, registry):
+    """Persist a run manifest when a cache directory is configured."""
+    if cache_dir is None:
+        return
+    runlog.write_runlog(
+        cache_dir,
+        command=command,
+        config=dict(sorted(vars(args).items())),
+        registry=registry,
+        tracer=tracing.current_tracer(),
+    )
 
 
 def _analyze_main(argv):
     """Run ``repro analyze [workloads...]``."""
+    args = build_analyze_parser().parse_args(argv)
+    tracer = _install_tracer(args)
+    try:
+        return _analyze_run(args)
+    finally:
+        _finish_tracer(tracer, args)
+
+
+def _analyze_run(args):
     from repro.analysis import crosscheck_records
     from repro.analysis.significance import operand_bounds
     from repro.study.scheduler import ResultBroker
     from repro.study.session import TraceStore
     from repro.workloads import mediabench_suite
 
-    args = build_analyze_parser().parse_args(argv)
     if args.workloads:
         try:
             workloads = _resolve_workloads(",".join(args.workloads))
@@ -246,6 +306,9 @@ def _analyze_main(argv):
             violations += summary["crosscheck"]["violations"]
         reports.append(summary)
 
+    _write_runlog(
+        cache_dir, ["analyze"] + list(args.workloads), args, broker.registry
+    )
     if args.format == "json":
         print(json.dumps(reports, indent=2, sort_keys=True))
     else:
@@ -339,6 +402,14 @@ def _resolve_cache_dir(args):
 def _cache_main(argv):
     """Run ``repro cache info|clear``."""
     args = build_cache_parser().parse_args(argv)
+    tracer = _install_tracer(args)
+    try:
+        return _cache_run(args)
+    finally:
+        _finish_tracer(tracer, args)
+
+
+def _cache_run(args):
     cache_dir = _resolve_cache_dir(args)
     if cache_dir is None:
         print(
@@ -365,13 +436,17 @@ def _cache_main(argv):
             )
         )
         return 0
-    info = cache.info()
-    result_info = results.info()
+    with tracing.span("cache.info", "session", dir=cache_dir):
+        info = cache.info()
+        result_info = results.info()
+        runs_info = runlog.list_runs(cache_dir)
     if args.format == "json":
         # Trace fields stay top-level (the stable, scripted-against
-        # shape); the result store reports under its own key.
+        # shape); the result store and run manifests report under their
+        # own keys.
         info = dict(info)
         info["results"] = result_info
+        info["runs"] = runs_info
         print(json.dumps(info, indent=2, sort_keys=True))
         return 0
     print("trace cache: %s (codec v%d)" % (info["dir"], info["codec_version"]))
@@ -399,6 +474,11 @@ def _cache_main(argv):
                 "%s=%d" % (kind, count)
                 for kind, count in sorted(result_info["kinds"].items())
             )
+        )
+    if runs_info["entries"]:
+        print(
+            "run manifests: %d under %s (latest %s)"
+            % (runs_info["entries"], runs_info["dir"], runs_info["latest"])
         )
     unreadable = info["unreadable"] + result_info["unreadable"]
     if unreadable:
@@ -480,6 +560,15 @@ def main(argv=None):
         return 2
     if args.experiment == "list":
         return _list_main(args)
+    tracer = _install_tracer(args)
+    try:
+        return _experiment_run(args, argv)
+    finally:
+        _finish_tracer(tracer, args)
+
+
+def _experiment_run(args, argv):
+    """Run one experiment (or ``all``) and report it."""
     workloads = None
     if args.workloads is not None:
         try:
@@ -498,10 +587,11 @@ def main(argv=None):
                 file=sys.stderr,
             )
             return 2
+    cache_dir = _resolve_cache_dir(args)
     session = ExperimentSession(
         workloads=workloads,
         scale=args.scale,
-        cache_dir=_resolve_cache_dir(args),
+        cache_dir=cache_dir,
         kernel=args.kernel,
         hierarchy=args.hierarchy,
     )
@@ -511,11 +601,13 @@ def main(argv=None):
             # Stream each report as it completes.
             for result in session.run_iter(names):
                 print(session.format_result_block(result))
+            _write_runlog(cache_dir, argv, args, session.registry)
             return 0
         results = session.run(names, jobs=args.jobs)
     except KeyError as error:
         print(str(error), file=sys.stderr)
         return 2
+    _write_runlog(cache_dir, argv, args, session.registry)
     if args.format == "json":
         print(session.report_json(results))
     elif args.experiment == "all":

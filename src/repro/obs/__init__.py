@@ -1,0 +1,43 @@
+"""Observability layer: metrics registry, spans, run manifests.
+
+``repro.obs`` is orchestration-only — it never shapes simulation
+results, so its sources are deliberately outside every cache
+fingerprint.  See ``docs/OBSERVABILITY.md`` for the metric catalog and
+span taxonomy.
+"""
+
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    format_label,
+    format_workload_scale,
+)
+from repro.obs.tracing import (
+    Tracer,
+    current_tracer,
+    set_tracer,
+    span,
+    start_trace,
+    traced_iteration,
+)
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "format_label",
+    "format_workload_scale",
+    "Tracer",
+    "current_tracer",
+    "set_tracer",
+    "span",
+    "start_trace",
+    "traced_iteration",
+]

@@ -1,0 +1,297 @@
+"""Typed metrics registry with snapshot/merge semantics.
+
+Every counter the engine used to keep as an ad-hoc dict —
+``TraceStore.materializations``, ``ResultBroker.sim_hits``, the
+trace-cache hit counts — is now a named instrument registered in a
+:class:`MetricsRegistry`.  Three instrument kinds cover the stack:
+
+* :class:`Counter` — monotonically accumulated per-label counts
+  (cache hits, misses, materializations, summed seconds);
+* :class:`Gauge` — last-written per-label values (configuration facts,
+  sizes);
+* :class:`Histogram` — per-label ``count/sum/min/max`` aggregates
+  (phase durations).
+
+Instruments subclass :class:`dict`, so every existing consumer — the
+JSON report's ``dict(sorted(counter.items()))``, tests comparing a
+counter against a plain dict literal — keeps working unchanged; the
+registry adds what the dicts could not do: a picklable, immutable
+:meth:`MetricsRegistry.snapshot` of every value, snapshot
+:meth:`~MetricsSnapshot.diff` for shipping worker-side changes across a
+process pool, :meth:`MetricsRegistry.merge` to fold those deltas back
+into the parent, a whole-registry :meth:`MetricsRegistry.reset`, and a
+versioned :meth:`MetricsRegistry.jsonable` schema shared by the run
+manifest (:mod:`repro.obs.runlog`) and the benchmark artifacts.
+
+Labels may be any hashable value (the trace counters use
+``(workload name, scale)`` tuples); each instrument carries a label
+encoder used only when rendering the JSON-able form.
+"""
+
+#: Version stamped into every jsonable metrics snapshot; consumers of
+#: run manifests and bench artifacts refuse other versions.
+METRICS_SCHEMA_VERSION = 1
+
+#: The instrument kinds a registry can hold.
+COUNTER_KIND = "counter"
+GAUGE_KIND = "gauge"
+HISTOGRAM_KIND = "histogram"
+
+
+def format_workload_scale(label):
+    """Render a ``(workload name, scale)`` label as ``"name@scale"``."""
+    if isinstance(label, tuple) and len(label) == 2:
+        return "%s@%d" % label
+    return str(label)
+
+
+def format_label(label):
+    """Default label encoder: ``str`` of the label."""
+    return str(label)
+
+
+class Metric(dict):
+    """Base class: a named, described, label → value mapping.
+
+    Subclasses define :attr:`kind` and the mutation verbs.  The mapping
+    itself is a plain dict, so equality against dict literals, ``.items``
+    iteration and direct item assignment all behave exactly like the
+    ad-hoc counter dicts this layer replaced.
+    """
+
+    kind = None
+
+    def __init__(self, name, description, key=format_label):
+        super().__init__()
+        self.name = name
+        self.description = description
+        self.key = key
+
+    def jsonable_values(self):
+        """The label → value mapping with labels rendered via the encoder."""
+        return {self.key(label): value for label, value in sorted(self.items())}
+
+    def __repr__(self):
+        return "%s(%r, %d labels)" % (type(self).__name__, self.name, len(self))
+
+
+class Counter(Metric):
+    """Accumulating per-label counts (ints or summed floats)."""
+
+    kind = COUNTER_KIND
+
+    def inc(self, label, amount=1):
+        """Add ``amount`` (default 1) to the label's count."""
+        self[label] = self.get(label, 0) + amount
+
+
+class Gauge(Metric):
+    """Last-written per-label values."""
+
+    kind = GAUGE_KIND
+
+    def set(self, label, value):
+        """Record the label's current value, replacing any previous one."""
+        self[label] = value
+
+
+class Histogram(Metric):
+    """Per-label ``{"count", "sum", "min", "max"}`` aggregates."""
+
+    kind = HISTOGRAM_KIND
+
+    def observe(self, label, value):
+        """Fold one observation into the label's aggregate."""
+        stats = self.get(label)
+        if stats is None:
+            self[label] = {
+                "count": 1, "sum": value, "min": value, "max": value,
+            }
+        else:
+            stats["count"] += 1
+            stats["sum"] += value
+            stats["min"] = min(stats["min"], value)
+            stats["max"] = max(stats["max"], value)
+
+
+_KINDS = {
+    COUNTER_KIND: Counter,
+    GAUGE_KIND: Gauge,
+    HISTOGRAM_KIND: Histogram,
+}
+
+
+def _copy_value(kind, value):
+    """A snapshot-safe copy of one label's value."""
+    return dict(value) if kind == HISTOGRAM_KIND else value
+
+
+class MetricsSnapshot:
+    """Immutable, picklable capture of every registry value.
+
+    ``metrics`` maps instrument name → ``(kind, key encoder, {label:
+    value})``.  Snapshots are plain data: they cross a ``fork`` process
+    pool as task results, and :meth:`diff` against an older snapshot
+    yields exactly the changes a worker made — the delta the parent
+    folds back with :meth:`MetricsRegistry.merge`.
+    """
+
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def diff(self, older):
+        """The changes since ``older``: a new, minimal snapshot.
+
+        Counter labels carry the difference of their counts; gauge
+        labels their newer value (when changed); histogram labels the
+        difference of ``count``/``sum`` with the newer ``min``/``max``
+        (merge takes extrema, so re-shipping an inherited bound is
+        idempotent).  Unchanged labels and instruments are dropped.
+        """
+        changed = {}
+        for name, (kind, key, values) in self.metrics.items():
+            _, _, old_values = older.metrics.get(name, (kind, key, {}))
+            delta = {}
+            for label, value in values.items():
+                old = old_values.get(label)
+                if value == old:
+                    continue
+                if kind == COUNTER_KIND:
+                    delta[label] = value - (old or 0)
+                elif kind == GAUGE_KIND:
+                    delta[label] = value
+                else:
+                    old = old or {"count": 0, "sum": 0}
+                    delta[label] = {
+                        "count": value["count"] - old["count"],
+                        "sum": value["sum"] - old["sum"],
+                        "min": value["min"],
+                        "max": value["max"],
+                    }
+            if delta:
+                changed[name] = (kind, key, delta)
+        return MetricsSnapshot(changed)
+
+    def jsonable(self):
+        """The shared, versioned metrics schema (see module docstring)."""
+        return {
+            "version": METRICS_SCHEMA_VERSION,
+            "metrics": {
+                name: {
+                    "kind": kind,
+                    "values": {
+                        key(label): _copy_value(kind, value)
+                        for label, value in sorted(values.items())
+                    },
+                }
+                for name, (kind, key, values) in sorted(self.metrics.items())
+            },
+        }
+
+    def __repr__(self):
+        return "MetricsSnapshot(%d metrics)" % len(self.metrics)
+
+
+class MetricsRegistry:
+    """Session-scoped home of every instrument.
+
+    Registration is idempotent per name — asking again returns the
+    existing instrument — but a kind clash (a counter re-registered as
+    a gauge) raises, so two subsystems can never silently share one
+    name with different semantics.
+    """
+
+    def __init__(self):
+        self._metrics = {}
+
+    def counter(self, name, description="", key=format_label):
+        """Register (or fetch) the named :class:`Counter`."""
+        return self._register(Counter, name, description, key)
+
+    def gauge(self, name, description="", key=format_label):
+        """Register (or fetch) the named :class:`Gauge`."""
+        return self._register(Gauge, name, description, key)
+
+    def histogram(self, name, description="", key=format_label):
+        """Register (or fetch) the named :class:`Histogram`."""
+        return self._register(Histogram, name, description, key)
+
+    def _register(self, cls, name, description, key):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, description, key=key)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                "metric %r is already registered as a %s, not a %s"
+                % (name, metric.kind, cls.kind)
+            )
+        return metric
+
+    def get(self, name):
+        """The named instrument, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self):
+        """Registered instrument names, sorted."""
+        return sorted(self._metrics)
+
+    def snapshot(self):
+        """An immutable :class:`MetricsSnapshot` of every current value."""
+        return MetricsSnapshot({
+            name: (
+                metric.kind,
+                metric.key,
+                {
+                    label: _copy_value(metric.kind, value)
+                    for label, value in metric.items()
+                },
+            )
+            for name, metric in self._metrics.items()
+        })
+
+    def merge(self, snapshot):
+        """Fold a snapshot (typically a worker's diff) into this registry.
+
+        Counters add, gauges overwrite, histograms combine — and
+        instruments the snapshot knows but this registry does not are
+        created on the fly, so a worker that registered a new metric
+        mid-task still reports it.
+        """
+        for name, (kind, key, values) in snapshot.metrics.items():
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._register(_KINDS[kind], name, "", key)
+            for label, value in values.items():
+                if kind == COUNTER_KIND:
+                    metric.inc(label, value)
+                elif kind == GAUGE_KIND:
+                    metric.set(label, value)
+                else:
+                    stats = metric.get(label)
+                    if stats is None:
+                        metric[label] = dict(value)
+                    else:
+                        stats["count"] += value["count"]
+                        stats["sum"] += value["sum"]
+                        stats["min"] = min(stats["min"], value["min"])
+                        stats["max"] = max(stats["max"], value["max"])
+
+    def reset(self):
+        """Zero every instrument's values; registrations are kept.
+
+        The fresh-session path: a broker or store reused across
+        sessions calls this so the second session's report cannot bleed
+        the first one's counts.
+        """
+        for metric in self._metrics.values():
+            metric.clear()
+
+    def jsonable(self):
+        """The shared, versioned metrics schema over the live values."""
+        return self.snapshot().jsonable()
+
+    def __repr__(self):
+        return "MetricsRegistry(%d metrics)" % len(self._metrics)

@@ -181,6 +181,8 @@ class InOrderPipeline:
         # construct PipelineResult, so it imports this module.
         from repro.pipeline.kernel import resolve_kernel
 
-        kernel = resolve_kernel(self.kernel)
-        expanded = kernel.expand(records, self.organization)
-        return kernel.simulate(expanded, self.hierarchy, self.predictor)
+        # Delegating to kernel.run keeps the expand/simulate spans (and
+        # any future kernel-level instrumentation) in one place.
+        return resolve_kernel(self.kernel).run(
+            records, self.organization, self.hierarchy, self.predictor
+        )

@@ -48,6 +48,7 @@ so cached results never mix backends.
 
 import os
 
+from repro.obs import tracing
 from repro.pipeline.base import PipelineResult
 from repro.pipeline.organizations import Organization
 from repro.pipeline.siginfo import SigInfo, alu_activity, compute_siginfo
@@ -121,9 +122,22 @@ class PipelineKernel:
         raise NotImplementedError
 
     def run(self, records, organization, hierarchy, predictor=None):
-        """Convenience: ``simulate(expand(records, organization), ...)``."""
-        return self.simulate(self.expand(records, organization), hierarchy,
-                             predictor)
+        """Convenience: ``simulate(expand(records, organization), ...)``.
+
+        Both halves run under ``compute``-category spans, so a trace
+        shows expansion and timing-recurrence cost separately per
+        kernel and organization.
+        """
+        with tracing.span(
+            "kernel.expand", "compute", kernel=self.name,
+            organization=organization.name,
+        ):
+            expanded = self.expand(records, organization)
+        with tracing.span(
+            "kernel.simulate", "compute", kernel=self.name,
+            organization=organization.name,
+        ):
+            return self.simulate(expanded, hierarchy, predictor)
 
     def __repr__(self):
         return "%s(%r)" % (type(self).__name__, self.name)

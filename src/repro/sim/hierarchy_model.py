@@ -60,6 +60,7 @@ name), so cached results never mix backends.
 
 import os
 
+from repro.obs import tracing
 from repro.sim.hierarchy import PAPER_HIERARCHY, MemoryHierarchy
 from repro.sim.tlb import PAGE_BITS
 
@@ -583,20 +584,24 @@ class MemoHierarchy:
         has one), so a block-at-a-time consumer and a record-at-a-time
         consumer observe identical hierarchies.
         """
-        ifetch_stall = self.ifetch_stall
-        data_stall = self.data_stall
-        latencies = []
-        append = latencies.append
-        for record in records:
-            istall = ifetch_stall(record.pc)
-            mem_addr = record.mem_addr
-            append((
-                istall,
-                data_stall(mem_addr, record.mem_is_store)
-                if mem_addr is not None
-                else 0,
-            ))
-        return latencies
+        with tracing.span(
+            "hierarchy.classify_block", "compute", hierarchy=MEMO_HIERARCHY,
+        ) as handle:
+            ifetch_stall = self.ifetch_stall
+            data_stall = self.data_stall
+            latencies = []
+            append = latencies.append
+            for record in records:
+                istall = ifetch_stall(record.pc)
+                mem_addr = record.mem_addr
+                append((
+                    istall,
+                    data_stall(mem_addr, record.mem_is_store)
+                    if mem_addr is not None
+                    else 0,
+                ))
+            handle.note(records=len(latencies))
+            return latencies
 
     def stats(self):
         """Per-structure statistics, field-wise identical to reference."""

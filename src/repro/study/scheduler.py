@@ -36,8 +36,10 @@ the full record list at all.
 
 import multiprocessing
 import sys
-import time
 from collections import namedtuple
+
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
 
 from repro.analysis.driver import (
     ANALYSIS_VERSION,
@@ -273,17 +275,6 @@ def _result_from_payload(unit, payload):
 # global keeps run_units reentrant across brokers.
 _WORKER_BROKER = None
 
-#: TraceStore counters a forked worker must report back to the parent:
-#: a walk group streaming inside a worker performs real decode work, and
-#: the worker's own counters die with the pool (sim timings ride back
-#: the same way, for the same reason).
-_TRACE_COUNTERS = (
-    "materializations",
-    "disk_hits",
-    "stream_hits",
-    "decode_misses",
-)
-
 
 def _unit_worker_init(broker):
     global _WORKER_BROKER
@@ -291,21 +282,17 @@ def _unit_worker_init(broker):
 
 
 def _unit_worker_run(task):
-    traces = _WORKER_BROKER.traces
-    before = {
-        name: dict(getattr(traces, name)) for name in _TRACE_COUNTERS
-    }
+    # A walk group streaming inside a worker performs real decode work,
+    # and the worker's counters and spans die with the pool: ship the
+    # registry delta (snapshot → diff) and the recorded events back
+    # alongside the result so the parent's report stays truthful.
+    registry = _WORKER_BROKER.registry
+    before = registry.snapshot()
+    tracer = tracing.current_tracer()
+    mark = tracer.event_count() if tracer is not None else 0
     result, seconds = _WORKER_BROKER._run_task(task)
-    deltas = {}
-    for name in _TRACE_COUNTERS:
-        delta = {
-            key: count - before[name].get(key, 0)
-            for key, count in getattr(traces, name).items()
-            if count != before[name].get(key, 0)
-        }
-        if delta:
-            deltas[name] = delta
-    return result, seconds, deltas
+    events = tracer.events_since(mark) if tracer is not None else []
+    return result, seconds, registry.snapshot().diff(before), events
 
 
 class ResultBroker:
@@ -340,20 +327,74 @@ class ResultBroker:
         )
         self._memo = {}
         self._workloads = {}
+        #: The metrics registry every broker instrument lives in —
+        #: shared with the trace store's, so one snapshot/merge covers
+        #: trace and unit counters alike.
+        self.registry = getattr(trace_store, "registry", None)
+        if self.registry is None:
+            self.registry = MetricsRegistry()
+        counter = self.registry.counter
         #: unit label -> count, mirroring TraceStore's counter style.
-        self.sim_hits = {}
-        self.sim_misses = {}
-        self.walk_hits = {}
-        self.walk_misses = {}
-        self.disk_hits = {}
-        #: kernel name -> {"units", "seconds", "instructions"} for the
-        #: pipeline simulations this broker computed (including, via
-        #: run_units, ones computed inside its forked workers).
-        self.sim_seconds = {}
+        self.sim_hits = counter(
+            "sim_hits", "unit requests served from the in-memory memo"
+        )
+        self.sim_misses = counter(
+            "sim_misses", "units actually computed in this session"
+        )
+        self.walk_hits = counter(
+            "walk_hits", "walk-unit requests served from the memo"
+        )
+        self.walk_misses = counter(
+            "walk_misses", "walk units actually computed in this session"
+        )
+        self.disk_hits = counter(
+            "result_disk_hits", "units loaded from the persistent store"
+        )
+        # The per-kernel simulation timing triple, decomposed into three
+        # counters (kernel name -> value); :attr:`sim_seconds` rebuilds
+        # the report's nested shape from them.
+        self._sim_units = counter(
+            "sim_units", "computed pipeline simulations per kernel"
+        )
+        self._sim_compute_seconds = counter(
+            "sim_compute_seconds", "simulation wall seconds per kernel"
+        )
+        self._sim_instructions = counter(
+            "sim_instructions", "instructions simulated per kernel"
+        )
         #: hierarchy name -> summed simulation wall seconds: the same
         #: measurements bucketed by memory-hierarchy backend (the
         #: ``hierarchy_seconds`` counter of the JSON report).
-        self.hierarchy_seconds = {}
+        self.hierarchy_seconds = counter(
+            "hierarchy_seconds", "simulation wall seconds per hierarchy"
+        )
+
+    @property
+    def sim_seconds(self):
+        """Kernel name -> ``{"units", "seconds", "instructions"}``.
+
+        The per-kernel timing shape the JSON report's ``sim_timings``
+        field renders, rebuilt from the underlying registry counters
+        (including measurements merged back from forked workers).
+        """
+        return {
+            kernel: {
+                "units": units,
+                "seconds": self._sim_compute_seconds.get(kernel, 0.0),
+                "instructions": self._sim_instructions.get(kernel, 0),
+            }
+            for kernel, units in self._sim_units.items()
+        }
+
+    def reset(self):
+        """Zero every counter in the shared registry; the memo is kept.
+
+        Two sessions reusing one store (hence one broker) would
+        otherwise bleed the first session's counts into the second's
+        report.  Memoized results stay valid — they are keyed by unit
+        identity, not by session — so only the instruments reset.
+        """
+        self.registry.reset()
 
     # ------------------------------------------------------------- requests
 
@@ -414,12 +455,23 @@ class ResultBroker:
         units = [WalkUnit(workload.name, scale, spec) for spec in specs]
         pending = []
         for unit in units:
-            if unit in self._memo:
-                self._count(self.walk_hits, unit)
-            elif self._load_from_disk(unit, workload) is None:
-                pending.append(unit)
+            with tracing.span(
+                "unit:%s" % unit.label(), "unit", kind=unit.kind,
+                path="memory",
+            ) as handle:
+                if unit in self._memo:
+                    self._count(self.walk_hits, unit)
+                elif self._load_from_disk(unit, workload) is not None:
+                    handle.note(path="disk")
+                else:
+                    handle.cancel()  # re-observed by the group span below
+                    pending.append(unit)
         if pending:
-            payloads = self._walk_group(workload, scale, pending)
+            with tracing.span(
+                "unit:%s@%d/walkgroup" % (workload.name, scale), "unit",
+                kind="walk", path="compute", units=len(pending),
+            ):
+                payloads = self._walk_group(workload, scale, pending)
             for unit, payload in zip(pending, payloads):
                 self._install(unit, workload, payload)
         return [self._memo[unit] for unit in units]
@@ -451,6 +503,14 @@ class ResultBroker:
         reference, so this is where the session's ``--kernel`` /
         ``--hierarchy`` choices take effect.
         """
+        with tracing.span(
+            "broker.run_units", "broker", requested=len(units), jobs=jobs
+        ) as handle:
+            computed = self._run_units(units, workloads_by_name, jobs)
+            handle.note(computed=computed)
+        return computed
+
+    def _run_units(self, units, workloads_by_name, jobs):
         pending = []
         walk_groups = {}
         seen = set()
@@ -465,11 +525,23 @@ class ResultBroker:
             if unit in self._memo or unit in seen:
                 # Served by the memo (or by the pending compute below).
                 self._count(self._hit_counter(unit), unit)
+                with tracing.span(
+                    "unit:%s" % unit.label(), "unit", kind=unit.kind,
+                    path="memory",
+                ):
+                    pass
                 continue
             seen.add(unit)
             workload = workloads_by_name[unit.workload]
             self._register(workload)
-            if self._load_from_disk(unit, workload) is None:
+            with tracing.span(
+                "unit:%s" % unit.label(), "unit", kind=unit.kind,
+                path="disk",
+            ) as probe:
+                loaded = self._load_from_disk(unit, workload)
+                if loaded is None:
+                    probe.cancel()  # re-observed as a compute-path span
+            if loaded is None:
                 if isinstance(unit, WalkUnit):
                     walk_groups.setdefault(
                         (unit.workload, unit.scale), []
@@ -524,8 +596,15 @@ class ResultBroker:
         if isinstance(task, list):
             first = task[0]
             workload = self._workload_for(first)
-            return self._walk_group(workload, first.scale, task), None
-        return self._compute_timed(task, self._workload_for(task))
+            with tracing.span(
+                "unit:%s@%d/walkgroup" % (first.workload, first.scale),
+                "unit", kind="walk", path="compute", units=len(task),
+            ):
+                return self._walk_group(workload, first.scale, task), None
+        with tracing.span(
+            "unit:%s" % task.label(), "unit", kind=task.kind, path="compute",
+        ):
+            return self._compute_timed(task, self._workload_for(task))
 
     def _compute_parallel(self, tasks, jobs):
         try:
@@ -543,17 +622,18 @@ class ResultBroker:
             initializer=_unit_worker_init,
             initargs=(self,),
         ) as pool:
-            # Worker processes die with their counters; measured sim
-            # times and trace-counter deltas (a walk group streaming in
-            # a worker is a real decode) ride back alongside the
-            # results so the parent's report stays truthful.
+            # Worker processes die with their counters and spans;
+            # measured sim times, the registry delta (a walk group
+            # streaming in a worker is a real decode) and the recorded
+            # events ride back alongside the results so the parent's
+            # report and trace stay truthful.
             shipped = pool.map(_unit_worker_run, tasks, chunksize=1)
+        tracer = tracing.current_tracer()
         timed = []
-        for result, seconds, deltas in shipped:
-            for name, delta in deltas.items():
-                counters = getattr(self.traces, name)
-                for key, change in delta.items():
-                    counters[key] = counters.get(key, 0) + change
+        for result, seconds, delta, events in shipped:
+            self.registry.merge(delta)
+            if tracer is not None:
+                tracer.extend(events)
             timed.append((result, seconds))
         return timed
 
@@ -579,15 +659,20 @@ class ResultBroker:
 
     def _ensure(self, unit, workload):
         self._register(workload)
-        if unit in self._memo:
-            self._count(self._hit_counter(unit), unit)
-            return self._memo[unit]
-        result = self._load_from_disk(unit, workload)
-        if result is not None:
+        with tracing.span(
+            "unit:%s" % unit.label(), "unit", kind=unit.kind, path="memory",
+        ) as handle:
+            if unit in self._memo:
+                self._count(self._hit_counter(unit), unit)
+                return self._memo[unit]
+            result = self._load_from_disk(unit, workload)
+            if result is not None:
+                handle.note(path="disk")
+                return result
+            handle.note(path="compute")
+            result = self._compute(unit, workload)
+            self._install(unit, workload, result)
             return result
-        result = self._compute(unit, workload)
-        self._install(unit, workload, result)
-        return result
 
     def _load_from_disk(self, unit, workload):
         """Memoize a persisted result; None when absent or unusable."""
@@ -627,19 +712,27 @@ class ResultBroker:
         damaged cache entry was already removed by the stream's own
         fail-closed handling).  Returns payload data dicts in unit order.
         """
-        walkers = [build_walker(unit.walker) for unit in units]
-        try:
-            feeds = [walker.feed for walker in walkers]
-            for record in self.traces.stream(workload, scale=scale):
-                for feed in feeds:
-                    feed(record)
-        except TraceCodecError:
+        with tracing.span(
+            "walk.group:%s@%d" % (workload.name, scale), "compute",
+            workload=workload.name, scale=scale, walkers=len(units),
+            specs=[unit.slug() for unit in units],
+        ):
             walkers = [build_walker(unit.walker) for unit in units]
-            feeds = [walker.feed for walker in walkers]
-            for record in self.traces.trace(workload, scale=scale):
-                for feed in feeds:
-                    feed(record)
-        return [walker.finish() for walker in walkers]
+            try:
+                feeds = [walker.feed for walker in walkers]
+                for record in self.traces.stream(workload, scale=scale):
+                    for feed in feeds:
+                        feed(record)
+            except TraceCodecError:
+                walkers = [build_walker(unit.walker) for unit in units]
+                feeds = [walker.feed for walker in walkers]
+                for record in self.traces.trace(workload, scale=scale):
+                    for feed in feeds:
+                        feed(record)
+            return [
+                walker.traced_finish(unit.slug())
+                for walker, unit in zip(walkers, units)
+            ]
 
     def _compute_timed(self, unit, workload):
         """``(result, sim seconds or None)`` for one unit, counter-free.
@@ -662,9 +755,13 @@ class ResultBroker:
                 organization, predictor=predictor, kernel=unit.kernel,
                 hierarchy=unit.hierarchy,
             )
-            started = time.perf_counter()
-            result = pipeline.run(records)
-            return result, time.perf_counter() - started
+            with tracing.span(
+                "pipeline.run:%s" % unit.label(), "compute",
+                kernel=unit.kernel, hierarchy=unit.hierarchy,
+                organization=unit.organization, workload=unit.workload,
+            ) as handle:
+                result = pipeline.run(records)
+            return result, handle.seconds
         if isinstance(unit, ActivityUnit):
             report = model_from_config(unit.config).process(
                 records, name=workload.name
@@ -676,15 +773,10 @@ class ResultBroker:
         return stats, None
 
     def _record_sim_time(self, kernel, hierarchy, seconds, instructions):
-        timing = self.sim_seconds.setdefault(
-            kernel, {"units": 0, "seconds": 0.0, "instructions": 0}
-        )
-        timing["units"] += 1
-        timing["seconds"] += seconds
-        timing["instructions"] += instructions
-        self.hierarchy_seconds[hierarchy] = (
-            self.hierarchy_seconds.get(hierarchy, 0.0) + seconds
-        )
+        self._sim_units.inc(kernel)
+        self._sim_compute_seconds.inc(kernel, seconds)
+        self._sim_instructions.inc(kernel, instructions)
+        self.hierarchy_seconds.inc(hierarchy, seconds)
 
     def _install(self, unit, workload, result):
         """Memoize a freshly computed result and write it back to disk."""

@@ -42,9 +42,10 @@ experiment registry imports the study modules.
 import json
 import multiprocessing
 import sys
-import time
 from collections import namedtuple
 
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry, format_workload_scale
 from repro.workloads import mediabench_suite
 
 
@@ -80,7 +81,7 @@ class TraceStore:
     next process — or the next CI run — skips simulation entirely.
     """
 
-    def __init__(self, cache=None):
+    def __init__(self, cache=None, registry=None):
         self._traces = {}
         self._owners = {}
         #: Optional persistent TraceCache backing this store.
@@ -89,17 +90,40 @@ class TraceStore:
         #: on this store (set by ExperimentSession): the studies reach
         #: memoized per-(workload, organization) results through it.
         self.results = None
+        #: The session-scoped :class:`~repro.obs.metrics.MetricsRegistry`
+        #: every counter below is registered in; the broker and the
+        #: persistent cache bind their instruments to the same registry,
+        #: so one snapshot/merge covers the whole stack.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if cache is not None:
+            cache.bind_registry(self.registry)
         #: (workload name, scale) -> number of times the trace was built.
-        self.materializations = {}
+        self.materializations = self.registry.counter(
+            "trace_materializations",
+            "traces built by compile + simulate",
+            key=format_workload_scale,
+        )
         #: (workload name, scale) -> number of persistent-cache loads.
-        self.disk_hits = {}
+        self.disk_hits = self.registry.counter(
+            "trace_disk_hits",
+            "traces fully decoded from the persistent cache",
+            key=format_workload_scale,
+        )
         #: (workload name, scale) -> number of disk streaming passes.
-        self.stream_hits = {}
+        self.stream_hits = self.registry.counter(
+            "trace_stream_hits",
+            "single-pass streams served from the persistent cache",
+            key=format_workload_scale,
+        )
         #: (workload name, scale) -> number of record-production events:
         #: every simulation, full decode or streaming pass counts one;
         #: serving the already in-memory list counts nothing.  A fully
         #: warm ``repro all`` reports an empty dict — zero decodes.
-        self.decode_misses = {}
+        self.decode_misses = self.registry.counter(
+            "trace_decode_misses",
+            "record-production events (simulate, decode or stream)",
+            key=format_workload_scale,
+        )
 
     def _claim(self, workload):
         owner = self._owners.get(workload.name)
@@ -117,17 +141,20 @@ class TraceStore:
         key = (workload.name, scale)
         self._claim(workload)
         if key not in self._traces:
-            self.decode_misses[key] = self.decode_misses.get(key, 0) + 1
+            self.decode_misses.inc(key)
             records = None
             if self.cache is not None:
                 records = self.cache.load(workload, scale=scale)
                 if records is not None:
-                    self.disk_hits[key] = self.disk_hits.get(key, 0) + 1
+                    self.disk_hits.inc(key)
             if records is None:
-                self.materializations[key] = (
-                    self.materializations.get(key, 0) + 1
-                )
-                records = workload.trace(scale=scale)
+                self.materializations.inc(key)
+                with tracing.span(
+                    "trace.materialize:%s@%d" % key, "compute",
+                    workload=workload.name, scale=scale,
+                ) as handle:
+                    records = workload.trace(scale=scale)
+                    handle.note(records=len(records))
                 if self.cache is not None:
                     self.cache.store(workload, scale, records)
             self._traces[key] = records
@@ -155,8 +182,8 @@ class TraceStore:
         if self.cache is not None:
             stream = self.cache.stream(workload, scale=scale)
             if stream is not None:
-                self.stream_hits[key] = self.stream_hits.get(key, 0) + 1
-                self.decode_misses[key] = self.decode_misses.get(key, 0) + 1
+                self.stream_hits.inc(key)
+                self.decode_misses.inc(key)
                 return stream
         return iter(self.trace(workload, scale=scale))
 
@@ -212,7 +239,17 @@ def _worker_init(session):
 
 
 def _worker_run(name):
-    return _WORKER_SESSION.run_one(name)
+    # The worker's registry and tracer are fork-inherited copies whose
+    # mutations die with the pool: ship the metric delta and the spans
+    # recorded during this experiment back alongside the result, so the
+    # parent's report (and trace file) stays identical to a serial run.
+    registry = _WORKER_SESSION.registry
+    before = registry.snapshot()
+    tracer = tracing.current_tracer()
+    mark = tracer.event_count() if tracer is not None else 0
+    result = _WORKER_SESSION.run_one(name)
+    events = tracer.events_since(mark) if tracer is not None else []
+    return result, registry.snapshot().diff(before), events
 
 
 class ExperimentSession:
@@ -250,6 +287,16 @@ class ExperimentSession:
         elif cache_dir is not None:
             raise ValueError("pass cache_dir or a store, not both")
         self.store = store
+        #: Session-scoped :class:`~repro.obs.metrics.MetricsRegistry`:
+        #: the trace store, the persistent caches and the broker all
+        #: register their instruments here, so one snapshot covers the
+        #: whole stack.
+        self.registry = self.store.registry
+        #: Per-phase wall-time histogram behind the JSON report's
+        #: ``timings`` key.
+        self.phases = self.registry.histogram(
+            "session_phase_seconds", "wall seconds per session phase"
+        )
         if self.store.results is None:
             self.store.results = ResultBroker(
                 self.store,
@@ -366,15 +413,18 @@ class ExperimentSession:
         """Execute one experiment; returns an :class:`ExperimentResult`."""
         from repro.study.experiments import EXPERIMENTS, run_experiment
 
-        start = time.perf_counter()
-        text = run_experiment(
-            name, workloads=self.workloads, scale=self.scale, store=self.store
-        )
+        with tracing.span(
+            "experiment:%s" % name, "experiment", experiment=name
+        ) as handle:
+            text = run_experiment(
+                name, workloads=self.workloads, scale=self.scale,
+                store=self.store,
+            )
         return ExperimentResult(
             id=name,
             description=EXPERIMENTS[name].description,
             text=text,
-            seconds=time.perf_counter() - start,
+            seconds=handle.seconds,
         )
 
     def run(self, names=None, jobs=1):
@@ -387,10 +437,22 @@ class ExperimentSession:
         # No eager trace warm-up: prepare_units resolves exactly the
         # traces its pending units need (in this process, pre-fork), so
         # a fully warm run touches no trace at all — zero decodes.
-        self.prepare_units(names, jobs=jobs)
-        if jobs > 1 and len(names) > 1:
-            return self._run_parallel(names, jobs)
-        return [self.run_one(name) for name in names]
+        with tracing.span(
+            "session.prepare_units", "session", experiments=len(names),
+            jobs=jobs,
+        ) as prepare:
+            self.prepare_units(names, jobs=jobs)
+        self.phases.observe("prepare_units", prepare.seconds)
+        with tracing.span(
+            "session.experiments", "session", experiments=len(names),
+            jobs=jobs,
+        ) as phase:
+            if jobs > 1 and len(names) > 1:
+                results = self._run_parallel(names, jobs)
+            else:
+                results = [self.run_one(name) for name in names]
+        self.phases.observe("experiments", phase.seconds)
+        return results
 
     def run_iter(self, names=None):
         """Serial generator form of :meth:`run`: results as they finish.
@@ -400,9 +462,17 @@ class ExperimentSession:
         whole batch.
         """
         names = self._validate(names)
-        self.prepare_units(names)
-        for name in names:
-            yield self.run_one(name)
+        with tracing.span(
+            "session.prepare_units", "session", experiments=len(names), jobs=1,
+        ) as prepare:
+            self.prepare_units(names)
+        self.phases.observe("prepare_units", prepare.seconds)
+        with tracing.span(
+            "session.experiments", "session", experiments=len(names), jobs=1,
+        ) as phase:
+            for name in names:
+                yield self.run_one(name)
+        self.phases.observe("experiments", phase.seconds)
 
     def _validate(self, names):
         """Resolve the id list, failing before any trace materializes."""
@@ -433,7 +503,15 @@ class ExperimentSession:
             initializer=_worker_init,
             initargs=(self,),
         ) as pool:
-            return pool.map(_worker_run, names, chunksize=1)
+            shipped = pool.map(_worker_run, names, chunksize=1)
+        tracer = tracing.current_tracer()
+        results = []
+        for result, delta, events in shipped:
+            self.registry.merge(delta)
+            if tracer is not None:
+                tracer.extend(events)
+            results.append(result)
+        return results
 
     # -------------------------------------------------------------- reporting
 
@@ -517,5 +595,14 @@ class ExperimentSession:
                 if self.results.store is not None
                 else None
             ),
+            # Additive key (the counter schema above is frozen — CI
+            # asserts on it): wall seconds per session phase.
+            "timings": {
+                phase: {
+                    "count": stats["count"],
+                    "seconds": round(stats["sum"], 6),
+                }
+                for phase, stats in sorted(self.phases.items())
+            },
         }
         return json.dumps(payload, indent=indent)

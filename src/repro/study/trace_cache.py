@@ -32,6 +32,7 @@ import json
 import os
 import tempfile
 
+from repro.obs.metrics import MetricsRegistry, format_workload_scale
 from repro.sim import tracefile
 
 #: Environment variable supplying a default cache directory to the CLI.
@@ -105,15 +106,46 @@ class TraceCache:
     ``repro cache`` CLI subcommand.
     """
 
-    def __init__(self, root):
+    #: (metric attribute, registered name, description) per instrument.
+    _COUNTERS = (
+        ("hits", "trace_cache_hits", "cache files served"),
+        ("misses", "trace_cache_misses", "lookups with no usable file"),
+        ("stores", "trace_cache_stores", "trace files written"),
+    )
+
+    def __init__(self, root, registry=None):
         # The directory is only created on first store(): read paths
         # (info, clear, load) must not leave empty directories behind
         # when pointed at a mistyped location.
         self.root = str(root)
         #: Process-local counters, keyed like TraceStore: (name, scale).
-        self.hits = {}
-        self.misses = {}
-        self.stores = {}
+        #: Registered in a :class:`~repro.obs.metrics.MetricsRegistry`
+        #: (a private one until a TraceStore rebinds the cache to the
+        #: session's via :meth:`bind_registry`).
+        self.registry = None
+        self.bind_registry(
+            registry if registry is not None else MetricsRegistry()
+        )
+
+    def bind_registry(self, registry):
+        """Re-home the cache's counters in ``registry``.
+
+        Current values carry over (they are merged into the registry's
+        instruments), so a cache constructed before the session's
+        registry existed loses nothing when the trace store adopts it.
+        """
+        if registry is self.registry:
+            return
+        for attribute, name, description in self._COUNTERS:
+            counter = registry.counter(
+                name, description, key=format_workload_scale
+            )
+            previous = getattr(self, attribute, None)
+            if previous:
+                for label, count in previous.items():
+                    counter.inc(label, count)
+            setattr(self, attribute, counter)
+        self.registry = registry
 
     # ---------------------------------------------------------------- keys
 

@@ -34,6 +34,7 @@ envelope stored on disk.
 from repro.core.extension import SCHEMES, SegmentedScheme
 from repro.core.patterns import PatternCounter, pattern_of
 from repro.core.pc import BlockSerialPC
+from repro.obs import tracing
 
 #: Bumped whenever any walker's payload layout changes; stored payloads
 #: from other versions fail closed (the walk recomputes).
@@ -109,6 +110,20 @@ class TraceWalker:
     def finish(self):
         """The JSON-able per-workload payload (see :func:`wrap_payload`)."""
         raise NotImplementedError
+
+    def traced_finish(self, slug):
+        """:meth:`finish` under a per-spec compute span.
+
+        The fused walk group feeds every pending walker from one stream,
+        so its ``walk.group`` span cannot attribute time per spec; the
+        finish step — where reducers like :class:`PCWalker` do their
+        per-spec aggregation — can, and this is where the scheduler
+        collects payloads from.
+        """
+        with tracing.span(
+            "walk.finish:%s" % slug, "compute", kind=self.kind
+        ):
+            return self.finish()
 
     def __repr__(self):
         return "%s(%r)" % (type(self).__name__, self.kind)

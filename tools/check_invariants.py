@@ -29,6 +29,12 @@ Two documentation invariants ride along:
    docstring every public module/class/function/method, so the checked
    docs work even where ruff is not installed.
 
+5. **Observability discipline** — ``repro.obs.tracing.span`` is the
+   engine's one sanctioned stopwatch: no module under ``src/repro``
+   outside ``repro/obs/`` may reference ``perf_counter`` (an ad-hoc
+   timer would bypass the tracer and the metrics registry), and every
+   module on the instrumented list must import ``repro.obs``.
+
 Everything here is AST-based: the checker parses sources, it never
 imports ``repro`` (so it runs before the package does, and a syntax
 error in the tree is itself a finding).  Run from the repo root:
@@ -53,6 +59,7 @@ WATCHED_PACKAGES = (
     "repro.pipeline",
     "repro.analysis",
     "repro.study",
+    "repro.obs",
 )
 
 #: Modules that only orchestrate (schedule, cache, report): their
@@ -73,6 +80,13 @@ ORCHESTRATION_ONLY = frozenset((
     "repro.study.scheduler",     # unit descriptors ride in keys
     "repro.study.session",
     "repro.study.trace_cache",   # keys carry CACHE_VERSION instead
+    # Observability never shapes cached artifacts: spans and counters
+    # describe a run, they do not feed results, so repro.obs stays
+    # outside every fingerprint (editing it must not cold-start CI).
+    "repro.obs",                # package __init__: re-exports only
+    "repro.obs.metrics",
+    "repro.obs.runlog",
+    "repro.obs.tracing",
 ))
 
 #: (relative path, version constant) pairs: every stored-payload layout
@@ -435,9 +449,12 @@ def _cli_option_strings():
         if isinstance(node, ast.FunctionDef)
     }
     options = set()
-    # _add_cache_dir_option is shared by every builder; charge its
-    # options to the common pool rather than tracing call edges.
-    for name in CLI_PARSER_BUILDERS + ("_add_cache_dir_option",):
+    # _add_cache_dir_option/_add_trace_out_option are shared by every
+    # builder; charge their options to the common pool rather than
+    # tracing call edges.
+    for name in CLI_PARSER_BUILDERS + (
+        "_add_cache_dir_option", "_add_trace_out_option",
+    ):
         builder = builders.get(name)
         if builder is None:
             continue
@@ -496,6 +513,9 @@ def check_cli_docs(errors):
 #: Keep in sync with the negated ruff per-file-ignores pattern in
 #: pyproject.toml (this check also verifies that sync).
 DOCSTRING_MODULES = (
+    "src/repro/obs/metrics.py",
+    "src/repro/obs/runlog.py",
+    "src/repro/obs/tracing.py",
     "src/repro/pipeline/kernel.py",
     "src/repro/sim/hierarchy_model.py",
     "src/repro/study/scheduler.py",
@@ -562,6 +582,78 @@ def check_docstrings(errors):
             )
 
 
+#: Modules carrying obs instrumentation: they must route timing and
+#: counters through repro.obs rather than private stopwatches/dicts.
+INSTRUMENTED_MODULES = (
+    "src/repro/cli.py",
+    "src/repro/pipeline/kernel.py",
+    "src/repro/sim/hierarchy_model.py",
+    "src/repro/sim/tracefile.py",
+    "src/repro/study/scheduler.py",
+    "src/repro/study/session.py",
+    "src/repro/study/trace_cache.py",
+)
+
+
+def _references_name(tree, name):
+    """True when any expression references ``name`` (Name or attribute)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == name:
+            return True
+        if isinstance(node, ast.Name) and node.id == name:
+            return True
+    return False
+
+
+def _imports_package(tree, package):
+    """True when the module imports ``package`` or anything under it."""
+    prefix = package + "."
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == package or alias.name.startswith(prefix):
+                    return True
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == package or module.startswith(prefix):
+                return True
+    return False
+
+
+def check_observability(errors):
+    """Invariant 5: all timing goes through repro.obs, nowhere else."""
+    obs_root = os.path.join("src", "repro", "obs") + os.sep
+    for dirpath, dirnames, filenames in os.walk(
+        os.path.join(SRC_ROOT, "repro")
+    ):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            relative = os.path.relpath(
+                os.path.join(dirpath, filename), REPO_ROOT
+            )
+            if relative.startswith(obs_root):
+                continue
+            if _references_name(_parse(relative), "perf_counter"):
+                errors.append(
+                    "%s references perf_counter directly: time through "
+                    "repro.obs.tracing.span (the one sanctioned stopwatch) "
+                    "so the tracer and metrics registry observe it"
+                    % relative
+                )
+    for relative_path in INSTRUMENTED_MODULES:
+        if not os.path.exists(os.path.join(REPO_ROOT, relative_path)):
+            errors.append("%s: file missing" % relative_path)
+            continue
+        if not _imports_package(_parse(relative_path), "repro.obs"):
+            errors.append(
+                "%s: instrumented module no longer imports repro.obs "
+                "(its spans/metrics must come from the shared layer)"
+                % relative_path
+            )
+
+
 def main():
     errors = []
     check_fingerprint_coverage(errors)
@@ -571,6 +663,7 @@ def main():
     check_registered_hierarchies(errors)
     check_cli_docs(errors)
     check_docstrings(errors)
+    check_observability(errors)
     if errors:
         for error in errors:
             print("check_invariants: %s" % error, file=sys.stderr)

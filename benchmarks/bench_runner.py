@@ -10,9 +10,11 @@ the trace codec (full-list vs record-at-a-time streaming), the fused
 trace-walk studies cold vs warm, serial vs parallel scheduling of
 independent experiments over a shared, pre-materialized TraceStore,
 raw simulation throughput per registered pipeline kernel (the
-reference-vs-tabular speedup lands in the benchmark JSON artifact), and
+reference-vs-tabular speedup lands in the benchmark JSON artifact),
 hierarchy-classification throughput per registered memory-hierarchy
-backend (the reference-vs-memo speedup, same artifact).
+backend (the reference-vs-memo speedup, same artifact), and static
+tag-table build throughput with the static-byte vs byte2 stored-bits
+ratio tracked alongside (compile-time tags vs dynamic 2-bit tags).
 """
 
 import pytest
@@ -235,6 +237,50 @@ def test_analyzer_throughput(benchmark, workload_name):
     )
     assert summary["lints"]["total"] == 0
     assert instructions > 0
+
+
+@pytest.mark.parametrize("workload_name", ANALYZER_BENCH_WORKLOADS)
+def test_static_tagging_throughput(benchmark, workload_name):
+    # Tag-table build throughput (the interprocedural analysis plus the
+    # per-PC reshape), with the static-byte vs byte2 stored-bits ratio
+    # tracked in extra_info: static charges every executed operand its
+    # proven compile-time width with zero tag bits, byte2 charges the
+    # dynamic minimal width plus 2 tag bits.  Ratio drifting up means
+    # the analysis got looser; drifting down means tighter bounds.
+    from repro.analysis.tag_table import build_tag_table, static_scheme_totals
+    from repro.core.extension import TWO_BIT_SCHEME
+
+    workload = get_workload(workload_name)
+    program = workload.program()
+    records = workload.trace()
+    exec_counts = {}
+    byte2_bits = 0
+    dynamic_values = 0
+    for record in records:
+        exec_counts[record.pc] = exec_counts.get(record.pc, 0) + 1
+        for value in record.read_values:
+            byte2_bits += TWO_BIT_SCHEME.stored_bits(value)
+            dynamic_values += 1
+        if record.write_value is not None:
+            byte2_bits += TWO_BIT_SCHEME.stored_bits(record.write_value)
+            dynamic_values += 1
+
+    def run():
+        return build_tag_table(program)
+
+    table = benchmark.pedantic(run, rounds=3, iterations=1)
+    totals = static_scheme_totals(table, sorted(exec_counts.items()))
+    assert totals["missing"] == 0  # every executed pc is statically tagged
+    ratio = totals["bits"] / float(byte2_bits)
+    _metrics_extra_info(
+        benchmark,
+        workload=workload_name,
+        static_bits_per_round=totals["bits"],
+        byte2_bits_per_round=byte2_bits,
+        static_vs_byte2_ratio=round(ratio, 4),
+    )
+    assert totals["values"] > 0
+    assert byte2_bits > 0
 
 
 #: Experiments backed by walk units: the fused-streaming studies.

@@ -12,6 +12,13 @@ into a checkable static prediction:
 * :mod:`repro.analysis.significance` — an interval abstract domain per
   register that bounds each operand's significant-byte count under the
   extension-bit schemes of :mod:`repro.core.extension`;
+* :mod:`repro.analysis.interproc` — the call-aware layer: argument
+  intervals flow into ``jal`` targets, return-value summaries flow back
+  to call sites, and sp-relative stack slots keep spilled values' proven
+  widths across reloads;
+* :mod:`repro.analysis.tag_table` — the exported per-PC static tag
+  table the compile-time ``static-byte`` scheme reads its operand
+  widths from (versioned, result-store persistable);
 * :mod:`repro.analysis.lints` — liveness-based dead-write detection,
   unreachable-block detection and use-before-def warnings;
 * :mod:`repro.analysis.driver` — the ``repro analyze`` summary payload
@@ -31,11 +38,24 @@ from repro.analysis.driver import (
     unwrap_analysis_payload,
     wrap_analysis_payload,
 )
+from repro.analysis.interproc import (
+    InterprocBailout,
+    interprocedural_bounds,
+    interprocedural_significance,
+)
 from repro.analysis.lints import Lint, lint_program, liveness, unreachable_blocks
 from repro.analysis.significance import (
     SignificanceAnalysis,
     operand_bounds,
     significance_bounds,
+)
+from repro.analysis.tag_table import (
+    TagTable,
+    build_tag_table,
+    static_scheme_totals,
+    tag_table_stats,
+    unwrap_tag_payload,
+    wrap_tag_payload,
 )
 
 __all__ = [
@@ -44,19 +64,28 @@ __all__ = [
     "CFG",
     "CFGError",
     "DataflowAnalysis",
+    "InterprocBailout",
     "Lint",
     "SignificanceAnalysis",
+    "TagTable",
     "analyze_program",
     "analyze_workload",
     "build_cfg",
+    "build_tag_table",
     "crosscheck_records",
     "crosscheck_workload",
+    "interprocedural_bounds",
+    "interprocedural_significance",
     "lint_program",
     "liveness",
     "operand_bounds",
     "significance_bounds",
     "solve",
+    "static_scheme_totals",
+    "tag_table_stats",
     "unreachable_blocks",
     "unwrap_analysis_payload",
+    "unwrap_tag_payload",
     "wrap_analysis_payload",
+    "wrap_tag_payload",
 ]

@@ -89,6 +89,10 @@ class CFG:
         self._by_start = {block.start: block.index for block in blocks}
         #: Block index containing the program entry point.
         self.entry = self._by_start[program.entry]
+        #: Addresses ``jal`` transfers to (function entry points), sorted.
+        self.call_target_pcs = ()
+        #: Addresses following a ``jal``/``jalr`` (return sites), sorted.
+        self.return_site_pcs = ()
 
     @property
     def text_base(self):
@@ -287,6 +291,8 @@ def build_cfg(program):
     cfg._by_start = by_start
     cfg._block_of_instr = block_of_instr
     cfg.entry = by_start[program.entry]
+    cfg.call_target_pcs = tuple(base + 4 * index for index in sorted(call_targets))
+    cfg.return_site_pcs = tuple(base + 4 * index for index in sorted(return_sites))
     return cfg
 
 

@@ -26,18 +26,30 @@ sign-extended width fits ``w`` bytes can never need more than
 """
 
 from repro.analysis.significance import operand_bounds
-from repro.core.extension import SCHEMES
+from repro.core.compress import get_scheme
 
-#: Schemes validated by default: the byte-granularity pair whose
-#: significant-byte counts the interval domain bounds directly.
-DEFAULT_SCHEMES = ("byte2", "byte3")
+#: Every registered scheme is validated by default (enforced by
+#: tools/check_invariants.py): the byte-granularity pair whose
+#: significant-byte counts the interval domain bounds directly, the
+#: halfword scheme (a byte-chain sign extension implies the halfword
+#: one, so rounding the bound up to blocks stays sound), and the
+#: compile-time ``static-byte`` scheme, for which this check *is* the
+#: correctness gate — its stored width is exactly the static bound, so
+#: an under-claim here means executed values would be truncated.
+DEFAULT_SCHEMES = ("byte2", "byte3", "block16", "static-byte")
 
 #: Cap on individual violations carried in a report (totals are exact).
 MAX_VIOLATIONS = 20
 
 
 def scheme_bound_bytes(bound_bytes, scheme):
-    """Static byte bound adapted to a scheme's block granularity."""
+    """Static byte bound adapted to a scheme's block granularity.
+
+    ``scheme`` may be a scheme object or a registered name; an unknown
+    name raises :class:`~repro.core.compress.UnknownSchemeError` (a
+    ``ValueError``) rather than a bare ``KeyError``.
+    """
+    scheme = get_scheme(scheme)
     block_bytes = scheme.block_bits // 8
     if block_bytes <= 1:
         return bound_bytes
@@ -52,12 +64,18 @@ def crosscheck_records(bounds, records, scheme_names=DEFAULT_SCHEMES):
     violation of any kind occurred.  Individual violations beyond
     :data:`MAX_VIOLATIONS` are counted but not listed.
     """
-    schemes = [SCHEMES[name] for name in scheme_names]
+    schemes = [get_scheme(name) for name in scheme_names]
     static_bits = [0] * len(schemes)
     dynamic_bits = [0] * len(schemes)
     violations = []
     violation_count = 0
     values_checked = 0
+    static_histograms = [
+        {1: 0, 2: 0, 3: 0, 4: 0} for _ in schemes
+    ]
+    dynamic_histograms = [
+        {1: 0, 2: 0, 3: 0, 4: 0} for _ in schemes
+    ]
     # Operand values repeat heavily (the paper's own premise); memoize
     # the per-scheme dynamic byte counts per distinct value.
     dynamic_memo = {}
@@ -84,6 +102,8 @@ def crosscheck_records(bounds, records, scheme_names=DEFAULT_SCHEMES):
             static = scheme_bound_bytes(bound_bytes, scheme)
             dynamic_bits[index] += dynamic * 8 + scheme.num_ext_bits
             static_bits[index] += static * 8 + scheme.num_ext_bits
+            static_histograms[index][static] += 1
+            dynamic_histograms[index][dynamic] += 1
             if dynamic > static:
                 record_violation(
                     "bound", pc,
@@ -131,6 +151,15 @@ def crosscheck_records(bounds, records, scheme_names=DEFAULT_SCHEMES):
             (static - dynamic) / dynamic if dynamic else 0.0
             for static, dynamic in zip(static_bits, dynamic_bits)
         ],
+        "histograms": {
+            scheme_name: {
+                "static": {str(k): v for k, v in static_hist.items()},
+                "dynamic": {str(k): v for k, v in dynamic_hist.items()},
+            }
+            for scheme_name, static_hist, dynamic_hist in zip(
+                scheme_names, static_histograms, dynamic_histograms
+            )
+        },
         "ok": violation_count == 0,
     }
 

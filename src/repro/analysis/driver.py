@@ -10,11 +10,20 @@ payloads from other versions fail closed (the analysis recomputes).
 """
 
 from repro.analysis.cfg import build_cfg, reachable_blocks
+from repro.analysis.interproc import (
+    InterprocBailout,
+    interprocedural_significance,
+)
 from repro.analysis.lints import lint_cfg
 from repro.analysis.significance import significance_bounds
 
-#: Bumped whenever the summary payload layout changes.
-ANALYSIS_VERSION = 1
+#: Bumped whenever the summary payload layout changes *or* the
+#: analysis itself produces different bounds (the constant keys
+#: result-store descriptors for analyze and tag-table units, so a
+#: version bump recomputes every cached artifact).  Version 2: the
+#: interprocedural summary/stack-slot analysis plus the static tag
+#: table.
+ANALYSIS_VERSION = 2
 
 
 def wrap_analysis_payload(data):
@@ -67,7 +76,13 @@ def analyze_program(program):
         len(cfg.blocks[index].instructions) for index in reachable
     )
 
-    bounds = significance_bounds(cfg)
+    intra_bounds = significance_bounds(cfg)
+    try:
+        bounds = interprocedural_significance(cfg)
+        interprocedural = True
+    except InterprocBailout:
+        bounds = intra_bounds
+        interprocedural = False
     read_histogram = {1: 0, 2: 0, 3: 0, 4: 0}
     write_histogram = {1: 0, 2: 0, 3: 0, 4: 0}
     read_total = write_total = 0
@@ -82,6 +97,12 @@ def analyze_program(program):
     write_operands = sum(write_histogram.values())
     operand_total = read_total + write_total
     operand_count = read_operands + write_operands
+
+    intra_total = sum(
+        sum(bound.read_bytes)
+        + (bound.write_bytes if bound.write_bytes is not None else 0)
+        for bound in intra_bounds.values()
+    )
 
     lints = lint_cfg(cfg)
     by_kind = {}
@@ -111,6 +132,9 @@ def analyze_program(program):
             "mean_operand_bytes": (
                 operand_total / operand_count if operand_count else 0.0
             ),
+            "interprocedural": interprocedural,
+            "static_operand_bytes": operand_total,
+            "static_operand_bytes_intraprocedural": intra_total,
         },
         "lints": {
             "total": len(lints),

@@ -1,0 +1,829 @@
+"""Call-aware interval significance analysis (function summaries).
+
+The intraprocedural analysis treats ``jr``/``jalr`` as jumping to *every*
+return site, so the state after any call is the join over every call
+site of every function — callee-saved registers, arguments and spilled
+values all collapse toward TOP.  This module re-analyzes the same CFG
+function by function:
+
+* **functions** are the program entry plus every ``jal`` target; a
+  function's body is what its entry reaches without following call
+  edges (``jal`` flows to the return site through the callee's summary)
+  and ``jr $ra`` blocks are its exits;
+* **contexts** — the register intervals and incoming stack-argument
+  slots at a function's entry — are joined (with widening) over all of
+  its call sites, so argument intervals propagate into callees;
+* **summaries** — the joined exit state plus the function's transitive
+  store effects — flow back to each call site, so return values
+  ($v0/$v1) keep their proven widths;
+* a **symbolic tag** per abstract value proves preservation instead of
+  assuming a calling convention: a register whose exit value is still
+  ``("entry", r)`` provably holds its entry value, so the *caller's*
+  interval survives the call.  MiniC's callee-saved discipline becomes
+  a theorem, and hand-written assembly that clobbers an $s-register is
+  still handled soundly (the summary interval is used instead);
+* **stack slots** are tracked sp-relatively (``("sp", delta)`` symbols
+  survive ``addiu $sp`` adjustments), so a value spilled with ``sw``
+  and reloaded with ``lw`` keeps its interval *and* its symbol — this
+  is what makes save/restore of $ra and the $s-registers provable.
+  Stores through non-sp pointers kill only the slots their address
+  interval can reach; a callee's effect on the caller's frame is
+  summarized by its maximal sp-relative store offset and the joined
+  address interval of its escaped (non-sp) stores.
+
+The result is sound over-approximation, never trust: anything the
+module cannot prove (an indirect ``jalr``, a ``jr`` through a register
+other than ``$ra``, a function that returns with an unproven return
+address, a diverging fixpoint) raises :class:`InterprocBailout` and the
+caller falls back to the whole-program intraprocedural analysis.
+Instructions in blocks no function analysis covers are reported at TOP
+by :func:`interprocedural_bounds`, which therefore bounds exactly the
+same reachable instruction set as the intraprocedural analysis.
+"""
+
+from repro.analysis.cfg import build_cfg, reachable_blocks
+from repro.analysis.significance import (
+    HI_SLOT,
+    INT_MAX,
+    INT_MIN,
+    LO_SLOT,
+    NUM_SLOTS,
+    OperandBounds,
+    TOP,
+    _refine_branch,
+    const_interval,
+    interval_bytes,
+    join_interval,
+    transfer_instruction,
+    widen_interval,
+)
+from repro.asm.program import STACK_TOP
+from repro.isa.opcodes import LOAD_SIZES, STORE_SIZES, Funct, InstrClass, Opcode
+
+SP = 29
+RA = 31
+
+#: Per-block worklist visits allowed per function fixpoint (scaled by
+#: block count); overflow raises :class:`InterprocBailout` rather than
+#: looping, and the caller falls back to the intraprocedural analysis.
+INNER_VISIT_FACTOR = 64
+
+#: Function (re-)analyses allowed across the whole-program fixpoint.
+OUTER_VISIT_FACTOR = 64
+
+
+class InterprocBailout(Exception):
+    """The program defeats the interprocedural model; fall back."""
+
+
+# --------------------------------------------------------- abstract values
+#
+# An abstract value is ``(interval, sym)``.  ``sym`` is ``None`` (no
+# provenance proof), ``("entry", slot)`` (provably the slot's value at
+# function entry) or ``("sp", delta)`` (provably entry-$sp plus a known
+# byte delta).  A frame state is ``(regs, slots)``: a NUM_SLOTS tuple of
+# values plus a dict of sp-relative word slots keyed by entry-relative
+# byte offset.
+
+
+def _join_value(a, b):
+    return (join_interval(a[0], b[0]), a[1] if a[1] == b[1] else None)
+
+
+def _widen_value(old, new):
+    return (widen_interval(old[0], new[0]), new[1] if old[1] == new[1] else None)
+
+
+def _join_state(a, b):
+    regs = tuple(_join_value(x, y) for x, y in zip(a[0], b[0]))
+    slots = {}
+    for key, value in a[1].items():
+        other = b[1].get(key)
+        if other is not None:
+            slots[key] = _join_value(value, other)
+    return (regs, slots)
+
+
+def _widen_state(old, new):
+    regs = tuple(_widen_value(x, y) for x, y in zip(old[0], new[0]))
+    slots = {}
+    for key, value in new[1].items():
+        before = old[1].get(key)
+        slots[key] = value if before is None else _widen_value(before, value)
+    return (regs, slots)
+
+
+class _Context:
+    """Register intervals + incoming stack slots at a function entry."""
+
+    __slots__ = ("regs", "slots")
+
+    def __init__(self, regs, slots):
+        self.regs = regs
+        self.slots = slots
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, _Context)
+            and other.regs == self.regs
+            and other.slots == self.slots
+        )
+
+    __hash__ = None
+
+
+def _join_context(a, b):
+    regs = tuple(join_interval(x, y) for x, y in zip(a.regs, b.regs))
+    slots = {}
+    for key, value in a.slots.items():
+        other = b.slots.get(key)
+        if other is not None:
+            slots[key] = join_interval(value, other)
+    return _Context(regs, slots)
+
+
+def _widen_context(old, new):
+    regs = tuple(widen_interval(x, y) for x, y in zip(old.regs, new.regs))
+    slots = {}
+    for key, value in new.slots.items():
+        before = old.slots.get(key)
+        slots[key] = value if before is None else widen_interval(before, value)
+    return _Context(regs, slots)
+
+
+class Summary:
+    """One function's joined exit state plus its store effects.
+
+    ``regs`` are the exit intervals (absolute); ``preserved[i]`` is True
+    when slot ``i`` provably still holds its entry value at every exit;
+    ``max_sp_key`` is the highest entry-relative byte offset of any
+    sp-relative store the function (or a callee) performs, ``None`` when
+    there are none; ``escaped`` is the joined address interval of every
+    store whose base could not be proven sp-relative, ``None`` when
+    there are none.
+    """
+
+    __slots__ = ("regs", "preserved", "max_sp_key", "escaped")
+
+    def __init__(self, regs, preserved, max_sp_key, escaped):
+        self.regs = regs
+        self.preserved = preserved
+        self.max_sp_key = max_sp_key
+        self.escaped = escaped
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Summary)
+            and other.regs == self.regs
+            and other.preserved == self.preserved
+            and other.max_sp_key == self.max_sp_key
+            and other.escaped == self.escaped
+        )
+
+    __hash__ = None
+
+
+def _join_summary(a, b):
+    if a.max_sp_key is None:
+        max_key = b.max_sp_key
+    elif b.max_sp_key is None:
+        max_key = a.max_sp_key
+    else:
+        max_key = max(a.max_sp_key, b.max_sp_key)
+    if a.escaped is None:
+        escaped = b.escaped
+    elif b.escaped is None:
+        escaped = a.escaped
+    else:
+        escaped = join_interval(a.escaped, b.escaped)
+    return Summary(
+        tuple(join_interval(x, y) for x, y in zip(a.regs, b.regs)),
+        tuple(x and y for x, y in zip(a.preserved, b.preserved)),
+        max_key,
+        escaped,
+    )
+
+
+def _widen_summary(old, new):
+    escaped = new.escaped
+    if old.escaped is not None and escaped is not None:
+        escaped = widen_interval(old.escaped, escaped)
+    return Summary(
+        tuple(widen_interval(x, y) for x, y in zip(old.regs, new.regs)),
+        new.preserved,
+        new.max_sp_key,
+        escaped,
+    )
+
+
+class _Effects:
+    """May-store effects accumulated while analyzing one function."""
+
+    __slots__ = ("max_sp_key", "escaped")
+
+    def __init__(self):
+        self.max_sp_key = None
+        self.escaped = None
+
+    def sp_store(self, key):
+        if self.max_sp_key is None or key > self.max_sp_key:
+            self.max_sp_key = key
+
+    def escaped_store(self, address):
+        if self.escaped is None:
+            self.escaped = address
+        else:
+            self.escaped = join_interval(self.escaped, address)
+
+    def include_call(self, summary, delta):
+        """Fold a callee's effects, translated into this frame."""
+        if summary.max_sp_key is not None:
+            if delta is None:
+                self.escaped_store(TOP)
+            else:
+                self.sp_store(summary.max_sp_key + delta)
+        if summary.escaped is not None:
+            self.escaped_store(summary.escaped)
+
+
+# ------------------------------------------------------- instruction step
+
+
+def _clobber_keys(slots, key, size):
+    """Drop slots overlapping the byte range ``[key, key + size)``."""
+    dead = [k for k in slots if k < key + size and k + 4 > key]
+    for k in dead:
+        del slots[k]
+
+
+def _clobber_escaped(slots, address, sp_entry, size=4):
+    """Drop slots an escaped store at ``address`` could reach.
+
+    A slot at entry-relative offset ``k`` occupies addresses
+    ``sp_entry + k .. sp_entry + k + 3``; any slot whose range can
+    intersect the store's is killed.  ``sp_entry is None`` means the
+    program passed the :func:`_sp_confined` check — no escaped store
+    can alias the stack, so nothing is killed.
+    """
+    if sp_entry is None:
+        return
+    if address == TOP or sp_entry == TOP:
+        slots.clear()
+        return
+    lo, hi = address
+    sp_lo, sp_hi = sp_entry
+    dead = [
+        k for k in slots
+        if not (hi + size - 1 < sp_lo + k or lo > sp_hi + k + 3)
+    ]
+    for k in dead:
+        del slots[k]
+
+
+def _move_sym(instr, regs):
+    """Symbolic tag of the value a non-memory instruction computes."""
+    opcode = instr.opcode
+    if opcode in (Opcode.ADDI, Opcode.ADDIU):
+        sym = regs[instr.rs][1]
+        if sym is not None:
+            if sym[0] == "sp":
+                return ("sp", sym[1] + instr.imm)
+            if instr.imm == 0:
+                return sym
+        return None
+    if opcode == Opcode.SPECIAL:
+        funct = instr.funct
+        if funct in (Funct.ADD, Funct.ADDU, Funct.OR, Funct.XOR):
+            if instr.rt == 0:
+                return regs[instr.rs][1]
+            if instr.rs == 0:
+                return regs[instr.rt][1]
+        elif funct in (Funct.SUB, Funct.SUBU) and instr.rt == 0:
+            return regs[instr.rs][1]
+        elif funct == Funct.SLL and instr.shamt == 0:
+            return regs[instr.rt][1]
+    return None
+
+
+def _apply(instr, pc, regs, slots, sp_entry, effects):
+    """Abstractly execute one non-call instruction on a frame state.
+
+    ``regs`` (list of NUM_SLOTS values) and ``slots`` are updated in
+    place.  Returns the interval of the value the instruction computes,
+    mirroring :func:`~repro.analysis.significance.transfer_instruction`.
+    """
+    opcode = instr.opcode
+    if opcode in STORE_SIZES:
+        size = STORE_SIZES[opcode]
+        base_iv, base_sym = regs[instr.rs]
+        if base_sym is not None and base_sym[0] == "sp":
+            key = base_sym[1] + instr.imm
+            _clobber_keys(slots, key, size)
+            if size == 4:
+                slots[key] = regs[instr.rt]
+            effects.sp_store(key)
+        else:
+            lo = base_iv[0] + instr.imm
+            hi = base_iv[1] + instr.imm
+            address = TOP if lo < INT_MIN or hi > INT_MAX else (lo, hi)
+            effects.escaped_store(address)
+            _clobber_escaped(slots, address, sp_entry, size)
+        return None
+    if opcode == Opcode.LW:
+        base_iv, base_sym = regs[instr.rs]
+        if base_sym is not None and base_sym[0] == "sp":
+            value = slots.get(base_sym[1] + instr.imm, (TOP, None))
+        else:
+            value = (TOP, None)
+        if instr.rt != 0:
+            regs[instr.rt] = value
+        return value[0]
+    sym = _move_sym(instr, regs)
+    intervals = [pair[0] for pair in regs]
+    value = transfer_instruction(instr, pc, intervals)
+    if opcode == Opcode.SPECIAL and instr.funct in (
+        Funct.MULT, Funct.MULTU, Funct.DIV, Funct.DIVU, Funct.MTHI, Funct.MTLO,
+    ):
+        regs[HI_SLOT] = (intervals[HI_SLOT], None)
+        regs[LO_SLOT] = (intervals[LO_SLOT], None)
+        return value
+    dest = instr.destination_register()
+    if dest is not None:
+        regs[dest] = (intervals[dest], sym)
+    return value
+
+
+def _sp_confined(cfg):
+    """True when stack addresses provably never leave ``$sp``.
+
+    Holds when every instruction that sources ``$sp`` is one of: an
+    ``addi``/``addiu`` adjusting ``$sp`` itself, or a load/store using
+    ``$sp`` purely as the base (and never *storing* ``$sp``), and the
+    only writes to ``$sp`` are those same ``addi``/``addiu`` forms.
+    Then no other register and no memory word can ever hold a stack
+    address, so a store through any non-``$sp`` pointer cannot alias
+    the frame slots the analysis tracks.  MiniC codegen satisfies this
+    by construction (there is no address-of-local); hand-written
+    assembly that leaks ``$sp`` falls back to the conservative
+    interval-overlap aliasing in :func:`_clobber_escaped`.
+    """
+    for instr in cfg.instructions:
+        opcode = instr.opcode
+        sp_adjust = (
+            opcode in (Opcode.ADDI, Opcode.ADDIU)
+            and instr.rs == SP
+            and instr.rt == SP
+        )
+        if SP in instr.source_registers() and not sp_adjust:
+            if opcode in LOAD_SIZES and instr.rs == SP:
+                continue
+            if opcode in STORE_SIZES and instr.rs == SP and instr.rt != SP:
+                continue
+            return False
+        if instr.destination_register() == SP and not sp_adjust:
+            return False
+    return True
+
+
+# ------------------------------------------------------ function geometry
+
+
+def _is_return(instr):
+    return (
+        instr.opcode == Opcode.SPECIAL
+        and instr.funct == Funct.JR
+        and instr.rs == RA
+    )
+
+
+def _is_unsupported_indirect(instr):
+    if instr.opcode != Opcode.SPECIAL:
+        return False
+    if instr.funct == Funct.JALR:
+        return True
+    return instr.funct == Funct.JR and instr.rs != RA
+
+
+class _Function:
+    """One function's block membership and call/exit structure."""
+
+    __slots__ = ("entry_pc", "entry_block", "blocks", "exit_blocks",
+                 "return_block")
+
+    def __init__(self, entry_pc, entry_block):
+        self.entry_pc = entry_pc
+        self.entry_block = entry_block
+        self.blocks = set()
+        self.exit_blocks = set()
+        #: Call-block index -> return-site block index (or None when the
+        #: call is the last instruction of the text segment).
+        self.return_block = {}
+
+
+def _partition(cfg, entry_pc):
+    """Blocks reachable from ``entry_pc`` without following call edges."""
+    fn = _Function(entry_pc, cfg.block_at(entry_pc).index)
+    stack = [fn.entry_block]
+    fn.blocks.add(fn.entry_block)
+
+    def visit(index):
+        if index not in fn.blocks:
+            fn.blocks.add(index)
+            stack.append(index)
+
+    while stack:
+        block = cfg.blocks[stack.pop()]
+        term = block.terminator
+        if _is_unsupported_indirect(term):
+            raise InterprocBailout(
+                "indirect control at 0x%08x" % (block.end - 4)
+            )
+        if term.opcode == Opcode.JAL:
+            site = block.end  # the instruction after the call
+            try:
+                ret = cfg.block_at(site).index
+            except KeyError:
+                ret = None
+            fn.return_block[block.index] = ret
+            if ret is not None:
+                visit(ret)
+        elif _is_return(term):
+            fn.exit_blocks.add(block.index)
+        else:
+            for successor in block.successors:
+                visit(successor)
+    return fn
+
+
+# --------------------------------------------------------- function solve
+
+
+def _entry_state(context):
+    regs = []
+    for index in range(NUM_SLOTS):
+        interval = context.regs[index]
+        if index == 0:
+            regs.append(((0, 0), None))
+        elif index == SP:
+            regs.append((interval, ("sp", 0)))
+        else:
+            regs.append((interval, ("entry", index)))
+    slots = {key: (value, None) for key, value in context.slots.items()}
+    return (tuple(regs), slots)
+
+
+def _call_context(regs, slots, call_pc):
+    """The callee-entry context one call site contributes."""
+    ctx_regs = [pair[0] for pair in regs]
+    ctx_regs[RA] = const_interval(call_pc + 4)
+    ctx_regs[0] = (0, 0)
+    ctx_slots = {}
+    sym = regs[SP][1]
+    if sym is not None and sym[0] == "sp":
+        delta = sym[1]
+        for key, (interval, _s) in slots.items():
+            relative = key - delta
+            if relative >= 0:
+                ctx_slots[relative] = interval
+    return _Context(tuple(ctx_regs), ctx_slots)
+
+
+def _apply_call(regs, slots, call_pc, summary, sp_entry):
+    """The caller state after a summarized call returns."""
+    post = list(regs)
+    post[RA] = (const_interval(call_pc + 4), None)
+    sym = regs[SP][1]
+    delta = sym[1] if sym is not None and sym[0] == "sp" else None
+    out_regs = []
+    for index in range(NUM_SLOTS):
+        if index == 0:
+            out_regs.append(((0, 0), None))
+        elif summary.preserved[index]:
+            out_regs.append(post[index])
+        else:
+            out_regs.append((summary.regs[index], None))
+    out_slots = dict(slots)
+    if delta is None:
+        out_slots = {}
+    else:
+        if summary.max_sp_key is not None:
+            top = summary.max_sp_key + delta + 3
+            dead = [key for key in out_slots if key <= top]
+            for key in dead:
+                del out_slots[key]
+        if summary.escaped is not None:
+            _clobber_escaped(out_slots, summary.escaped, sp_entry)
+    return (tuple(out_regs), out_slots)
+
+
+def _edge_state(cfg, block, successor, state):
+    """Branch-edge interval refinement lifted to frame states."""
+    term = block.terminator
+    if term.iclass is not InstrClass.BRANCH:
+        return state
+    last_pc = block.end - 4
+    taken = cfg.block_of(term.branch_target(last_pc)).index
+    fallthrough = cfg.block_of(last_pc + 4).index
+    if taken == fallthrough:
+        return state
+    intervals = tuple(pair[0] for pair in state[0])
+    refined = _refine_branch(term, intervals, successor == taken)
+    if refined is None:
+        return None
+    if refined == intervals:
+        return state
+    regs = tuple(
+        (refined[index], state[0][index][1]) for index in range(NUM_SLOTS)
+    )
+    return (regs, state[1])
+
+
+class _FunctionResult:
+    __slots__ = ("in_states", "call_contexts", "summary")
+
+    def __init__(self, in_states, call_contexts, summary):
+        self.in_states = in_states
+        self.call_contexts = call_contexts
+        self.summary = summary
+
+
+def _analyze_function(cfg, fn, context, summaries, confined=False):
+    """One pass of the per-function worklist fixpoint."""
+    sp_entry = None if confined else context.regs[SP]
+    in_states = {fn.entry_block: _entry_state(context)}
+    exit_out = None
+    call_contexts = {}
+    effects = _Effects()
+    work = [fn.entry_block]
+    queued = {fn.entry_block}
+    visits = 0
+    cap = INNER_VISIT_FACTOR * len(fn.blocks) + 256
+
+    def flow(successor, incoming):
+        old = in_states.get(successor)
+        if old is None:
+            in_states[successor] = incoming
+        else:
+            joined = _join_state(old, incoming)
+            if joined == old:
+                return
+            in_states[successor] = _widen_state(old, joined)
+        if successor not in queued:
+            queued.add(successor)
+            work.append(successor)
+
+    while work:
+        index = work.pop()
+        queued.discard(index)
+        visits += 1
+        if visits > cap:
+            raise InterprocBailout(
+                "function at 0x%08x does not converge" % fn.entry_pc
+            )
+        block = cfg.blocks[index]
+        state = in_states[index]
+        regs = list(state[0])
+        slots = dict(state[1])
+        term = block.terminator
+        is_call = term.opcode == Opcode.JAL
+        body = block.instructions[:-1] if is_call else block.instructions
+        pc = block.start
+        for instr in body:
+            _apply(instr, pc, regs, slots, sp_entry, effects)
+            pc += 4
+        if is_call:
+            call_pc = block.end - 4
+            callee = term.jump_target(call_pc)
+            contributed = _call_context(regs, slots, call_pc)
+            existing = call_contexts.get(callee)
+            call_contexts[callee] = (
+                contributed if existing is None
+                else _join_context(existing, contributed)
+            )
+            summary = summaries.get(callee)
+            if summary is not None:
+                sym = regs[SP][1]
+                delta = sym[1] if sym is not None and sym[0] == "sp" else None
+                effects.include_call(summary, delta)
+                successor = fn.return_block.get(index)
+                if successor is not None:
+                    flow(
+                        successor,
+                        _apply_call(regs, slots, call_pc, summary, sp_entry),
+                    )
+        elif index in fn.exit_blocks:
+            out = (tuple(regs), slots)
+            ra_interval, ra_sym = regs[RA]
+            if ra_sym == ("entry", RA):
+                exit_out = (
+                    out if exit_out is None else _join_state(exit_out, out)
+                )
+            elif ra_interval[0] == ra_interval[1]:
+                # $ra holds a known constant (a jal wrote it in *this*
+                # frame): the jr is a direct jump, not a return.  This
+                # happens on statically feasible but concretely dead
+                # paths, e.g. an exit syscall falling through into the
+                # next function's body.
+                target = ra_interval[0]
+                if target != 0:  # 0 is the boot $ra: the machine halts
+                    try:
+                        successor = cfg.block_at(target).index
+                    except KeyError:
+                        raise InterprocBailout(
+                            "jr $ra at 0x%08x targets mid-block 0x%08x"
+                            % (block.end - 4, target)
+                        )
+                    if successor not in fn.blocks:
+                        raise InterprocBailout(
+                            "jr $ra at 0x%08x leaves the function"
+                            % (block.end - 4)
+                        )
+                    flow(successor, out)
+            else:
+                raise InterprocBailout(
+                    "function at 0x%08x returns through an unproven $ra"
+                    % fn.entry_pc
+                )
+        else:
+            out = (tuple(regs), slots)
+            for successor in block.successors:
+                refined = _edge_state(cfg, block, successor, out)
+                if refined is not None:
+                    flow(successor, refined)
+
+    summary = None
+    if exit_out is not None:
+        preserved = []
+        for index in range(NUM_SLOTS):
+            sym = exit_out[0][index][1]
+            if index == 0:
+                preserved.append(True)
+            elif index == SP:
+                preserved.append(sym == ("sp", 0))
+            else:
+                preserved.append(sym == ("entry", index))
+        if not preserved[RA]:
+            raise InterprocBailout(
+                "function at 0x%08x returns through an unproven $ra"
+                % fn.entry_pc
+            )
+        summary = Summary(
+            tuple(pair[0] for pair in exit_out[0]),
+            tuple(preserved),
+            effects.max_sp_key,
+            effects.escaped,
+        )
+    return _FunctionResult(in_states, call_contexts, summary)
+
+
+# ------------------------------------------------------- program fixpoint
+
+
+def _boot_context(initial_registers):
+    if initial_registers is not None:
+        regs = [TOP] * NUM_SLOTS
+        for reg, value in initial_registers.items():
+            regs[reg] = const_interval(value)
+        regs[0] = (0, 0)
+        return _Context(tuple(regs), {})
+    regs = [(0, 0)] * NUM_SLOTS
+    regs[SP] = const_interval(STACK_TOP)
+    return _Context(tuple(regs), {})
+
+
+def interprocedural_significance(cfg, initial_registers=None):
+    """Per-instruction bounds from the summary-based fixpoint.
+
+    Returns ``{pc: OperandBounds}`` covering exactly the instructions in
+    entry-reachable blocks (instructions no function analysis covers are
+    reported at TOP).  Raises :class:`InterprocBailout` when the program
+    defeats the model; callers fall back to the intraprocedural
+    analysis, which is always applicable.
+    """
+    entry_pc = cfg.program.entry
+    entries = {entry_pc}
+    entries.update(cfg.call_target_pcs)
+    functions = {pc: _partition(cfg, pc) for pc in sorted(entries)}
+    confined = _sp_confined(cfg)
+
+    contexts = {entry_pc: _boot_context(initial_registers)}
+    summaries = {}
+    callers = {pc: set() for pc in functions}
+    results = {}
+    work = [entry_pc]
+    queued = {entry_pc}
+    visits = 0
+    cap = OUTER_VISIT_FACTOR * len(functions) + 64
+
+    def push(pc):
+        if pc not in queued:
+            queued.add(pc)
+            work.append(pc)
+
+    while work:
+        current = work.pop(0)
+        queued.discard(current)
+        visits += 1
+        if visits > cap:
+            raise InterprocBailout("interprocedural fixpoint diverges")
+        result = _analyze_function(
+            cfg, functions[current], contexts[current], summaries,
+            confined=confined,
+        )
+        results[current] = result
+        for callee, contributed in result.call_contexts.items():
+            callers[callee].add(current)
+            old = contexts.get(callee)
+            if old is None:
+                contexts[callee] = contributed
+                push(callee)
+            else:
+                merged = _join_context(old, contributed)
+                if merged != old:
+                    contexts[callee] = _widen_context(old, merged)
+                    push(callee)
+        if result.summary is not None:
+            old = summaries.get(current)
+            if old is None:
+                merged = result.summary
+            else:
+                merged = _join_summary(old, result.summary)
+                if merged != old:
+                    merged = _widen_summary(old, merged)
+            if merged != old:
+                summaries[current] = merged
+                for caller in callers[current]:
+                    push(caller)
+
+    bounds = {}
+    for pc, fn in functions.items():
+        result = results.get(pc)
+        if result is None:
+            continue
+        _record_bounds(cfg, fn, result, contexts[pc], bounds, confined)
+    _fill_top(cfg, bounds)
+    return bounds
+
+
+def _merge_bound(bounds, pc, reads, write):
+    old = bounds.get(pc)
+    if old is None:
+        bounds[pc] = OperandBounds(pc, reads, write)
+        return
+    merged_reads = tuple(max(a, b) for a, b in zip(old.read_bytes, reads))
+    if old.write_bytes is None or write is None:
+        merged_write = old.write_bytes if write is None else write
+    else:
+        merged_write = max(old.write_bytes, write)
+    bounds[pc] = OperandBounds(pc, merged_reads, merged_write)
+
+
+def _record_bounds(cfg, fn, result, context, bounds, confined=False):
+    """Per-pc operand bounds from one function's converged states."""
+    sp_entry = None if confined else context.regs[SP]
+    effects = _Effects()
+    for index, state in result.in_states.items():
+        block = cfg.blocks[index]
+        regs = list(state[0])
+        slots = dict(state[1])
+        term = block.terminator
+        is_call = term.opcode == Opcode.JAL
+        pc = block.start
+        for instr in block.instructions:
+            reads = tuple(
+                interval_bytes(regs[reg][0])
+                for reg in instr.source_registers()
+            )
+            if is_call and instr is term:
+                value = const_interval(pc + 4)
+            else:
+                value = _apply(instr, pc, regs, slots, sp_entry, effects)
+            write = None if value is None else interval_bytes(value)
+            _merge_bound(bounds, pc, reads, write)
+            pc += 4
+
+
+def _fill_top(cfg, bounds):
+    """TOP bounds for reachable instructions no function covered."""
+    for index in reachable_blocks(cfg):
+        block = cfg.blocks[index]
+        pc = block.start
+        for instr in block.instructions:
+            if pc not in bounds:
+                state = [TOP] * NUM_SLOTS
+                value = transfer_instruction(instr, pc, state)
+                bounds[pc] = OperandBounds(
+                    pc,
+                    tuple(4 for _ in instr.source_registers()),
+                    None if value is None else interval_bytes(value),
+                )
+            pc += 4
+
+
+def interprocedural_bounds(program, initial_registers=None):
+    """Convenience wrapper: build the CFG and run the interprocedural
+    fixpoint (raises :class:`InterprocBailout` on unsupported shapes)."""
+    cfg = build_cfg(program)
+    return interprocedural_significance(
+        cfg, initial_registers=initial_registers
+    )

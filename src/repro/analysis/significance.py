@@ -591,9 +591,32 @@ def significance_bounds(cfg, initial_registers=None):
     return bounds
 
 
-def operand_bounds(program, initial_registers=None):
-    """Convenience wrapper: build the CFG and compute bounds."""
+def operand_bounds(program, initial_registers=None, interprocedural=True):
+    """Per-instruction static significance bounds for ``program``.
+
+    By default the call-aware summary analysis of
+    :mod:`repro.analysis.interproc` runs first (it bounds exactly the
+    same reachable-instruction set, only tighter); programs it cannot
+    model — indirect ``jalr`` calls, returns through registers other
+    than ``$ra``, unproven return addresses — fall back to the
+    intraprocedural fixpoint below.  Pass ``interprocedural=False`` to
+    force the intraprocedural result (used for slack comparisons).
+    """
     cfg = build_cfg(program)
+    if interprocedural:
+        # Imported lazily: interproc builds on this module's transfer
+        # functions, so a top-level import would be circular.
+        from repro.analysis.interproc import (
+            InterprocBailout,
+            interprocedural_significance,
+        )
+
+        try:
+            return interprocedural_significance(
+                cfg, initial_registers=initial_registers
+            )
+        except InterprocBailout:
+            pass
     return significance_bounds(cfg, initial_registers=initial_registers)
 
 

@@ -1,0 +1,183 @@
+"""Per-PC static significance tags — the compile-time scheme's payload.
+
+A :class:`TagTable` maps each instruction address to the operand byte
+widths the static analysis proved: one bound per source operand
+(aligned with ``Instruction.source_registers()`` and therefore with
+``TraceRecord.read_values``) plus one for the computed value.  The
+``static-byte`` scheme (:class:`repro.core.compress.StaticByteScheme`)
+reads its storage/datapath widths from this table instead of per-value
+extension bits; anywhere the analysis is TOP the table says 4 bytes and
+the value rides at full width, so a lookup never *under*-claims as long
+as the bounds are sound — which the suite-wide crosscheck enforces.
+
+Tables persist in the result store under the same versioned envelope
+discipline as analysis summaries: payloads are stamped with
+:data:`~repro.analysis.driver.ANALYSIS_VERSION` and fail closed on any
+skew (a stale table from an older analysis silently mis-tagging values
+would corrupt every downstream figure).
+"""
+
+from repro.analysis.driver import ANALYSIS_VERSION
+from repro.analysis.significance import operand_bounds
+
+#: Fallback width (bytes) for addresses the analysis did not bound.
+FULL_WIDTH_BYTES = 4
+
+
+class TagTable:
+    """Static per-PC operand byte widths, with full-width fallback."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries):
+        #: ``{pc: (read_bytes_tuple, write_bytes_or_None)}``
+        self.entries = dict(entries)
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __contains__(self, pc):
+        return pc in self.entries
+
+    def read_bytes(self, pc, index):
+        """Proven width of one source operand; 4 when unanalyzed."""
+        entry = self.entries.get(pc)
+        if entry is None or index >= len(entry[0]):
+            return FULL_WIDTH_BYTES
+        return entry[0][index]
+
+    def write_bytes(self, pc):
+        """Proven width of the computed value; 4 when unanalyzed."""
+        entry = self.entries.get(pc)
+        if entry is None or entry[1] is None:
+            return FULL_WIDTH_BYTES
+        return entry[1]
+
+    def __eq__(self, other):
+        return isinstance(other, TagTable) and other.entries == self.entries
+
+    __hash__ = None
+
+
+def build_tag_table(program, initial_registers=None, interprocedural=True):
+    """The static tag table of one assembled program.
+
+    Runs :func:`~repro.analysis.significance.operand_bounds` (the
+    interprocedural analysis with intraprocedural fallback, unless
+    ``interprocedural=False``) and reshapes the result for per-value
+    lookup.
+    """
+    bounds = operand_bounds(
+        program,
+        initial_registers=initial_registers,
+        interprocedural=interprocedural,
+    )
+    return TagTable(
+        (pc, (bound.read_bytes, bound.write_bytes))
+        for pc, bound in bounds.items()
+    )
+
+
+def wrap_tag_payload(table):
+    """The on-disk envelope of one tag table (versioned)."""
+    entries = [
+        [pc, list(reads), write]
+        for pc, (reads, write) in sorted(table.entries.items())
+    ]
+    return {
+        "version": ANALYSIS_VERSION,
+        "kind": "tag-table",
+        "data": {"entries": entries},
+    }
+
+
+def unwrap_tag_payload(payload):
+    """Validate a stored envelope; returns the :class:`TagTable`.
+
+    Raises ``ValueError`` on version skew or a malformed envelope — the
+    caller treats both as a cache miss and recomputes.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("tag-table payload is not an object")
+    if payload.get("version") != ANALYSIS_VERSION:
+        raise ValueError(
+            "tag-table payload version %r != supported %d"
+            % (payload.get("version"), ANALYSIS_VERSION)
+        )
+    if payload.get("kind") != "tag-table":
+        raise ValueError("payload is not a tag table")
+    data = payload.get("data")
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError("tag-table payload carries no entries")
+    entries = {}
+    for item in data["entries"]:
+        pc, reads, write = item
+        entries[int(pc)] = (tuple(int(b) for b in reads), write)
+    return TagTable(entries)
+
+
+def tag_table_stats(table):
+    """JSON-able byte-width histograms of one tag table.
+
+    Shapes the ``repro analyze --tags`` summary: per-width operand
+    counts (string keys, like the analysis summary histograms), operand
+    totals and the mean static operand width.
+    """
+    read_histogram = {1: 0, 2: 0, 3: 0, 4: 0}
+    write_histogram = {1: 0, 2: 0, 3: 0, 4: 0}
+    read_total = write_total = 0
+    for reads, write in table.entries.values():
+        for width in reads:
+            read_histogram[width] += 1
+            read_total += width
+        if write is not None:
+            write_histogram[write] += 1
+            write_total += write
+    read_operands = sum(read_histogram.values())
+    write_operands = sum(write_histogram.values())
+    operand_count = read_operands + write_operands
+    return {
+        "instructions": len(table.entries),
+        "read_operands": read_operands,
+        "write_operands": write_operands,
+        "read_histogram": {str(k): v for k, v in read_histogram.items()},
+        "write_histogram": {str(k): v for k, v in write_histogram.items()},
+        "mean_operand_bytes": (
+            (read_total + write_total) / operand_count
+            if operand_count
+            else 0.0
+        ),
+    }
+
+
+def static_scheme_totals(table, exec_counts):
+    """Aggregate ``static-byte`` stored bits over per-PC execution counts.
+
+    ``exec_counts`` is an iterable of ``(pc, count)`` pairs (the
+    ``pc_exec`` walk payload).  Returns ``{"bits", "values", "missing"}``
+    shaped like a ``scheme_bits`` walk entry: ``bits`` is the total
+    storage the static scheme needs for every operand of every executed
+    instruction (byte widths × 8, zero tag bits), ``values`` the operand
+    count.  Executed addresses absent from the table (``missing``) are
+    charged the conservative full-width three-operand worst case — the
+    crosscheck separately guarantees this never actually happens.
+    """
+    bits = 0
+    values = 0
+    missing = 0
+    for pc, count in exec_counts:
+        entry = table.entries.get(pc)
+        if entry is None:
+            missing += count
+            bits += count * 3 * 32
+            values += count * 3
+            continue
+        reads, write = entry
+        operand_bytes = sum(reads)
+        operand_count = len(reads)
+        if write is not None:
+            operand_bytes += write
+            operand_count += 1
+        bits += count * operand_bytes * 8
+        values += count * operand_count
+    return {"bits": bits, "values": values, "missing": missing}

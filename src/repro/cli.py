@@ -224,6 +224,14 @@ def build_analyze_parser():
             "non-zero on any soundness violation"
         ),
     )
+    parser.add_argument(
+        "--tags",
+        action="store_true",
+        help=(
+            "include the static tag table summary (per-PC operand byte "
+            "widths the 'static-byte' scheme reads at run time)"
+        ),
+    )
     _add_cache_dir_option(parser)
     _add_trace_out_option(parser)
     return parser
@@ -298,12 +306,30 @@ def _analyze_run(args):
     violations = 0
     for workload in workloads:
         summary = broker.analysis_summary(workload, scale=args.scale)
+        if args.crosscheck or args.tags:
+            summary = dict(summary)
         if args.crosscheck:
             bounds = operand_bounds(workload.program(args.scale))
             records = traces.trace(workload, scale=args.scale)
-            summary = dict(summary)
-            summary["crosscheck"] = crosscheck_records(bounds, records)
-            violations += summary["crosscheck"]["violations"]
+            check = crosscheck_records(bounds, records)
+            summary["crosscheck"] = check
+            # Per-workload slack summary: how much static headroom each
+            # scheme leaves over the executed values, with the
+            # static-vs-dynamic bound histograms behind the number.
+            summary["slack_summary"] = {
+                name: {
+                    "slack_percent": round(100.0 * slack, 2),
+                    "static_histogram": check["histograms"][name]["static"],
+                    "dynamic_histogram": check["histograms"][name]["dynamic"],
+                }
+                for name, slack in zip(check["schemes"], check["slack"])
+            }
+            violations += check["violations"]
+        if args.tags:
+            from repro.analysis.tag_table import tag_table_stats
+
+            table = broker.tag_table(workload, scale=args.scale)
+            summary["tag_table"] = tag_table_stats(table)
         reports.append(summary)
 
     _write_runlog(
@@ -365,6 +391,25 @@ def _format_analysis_text(summary):
             )
     else:
         lines.append("  lints: clean")
+    tags = summary.get("tag_table")
+    if tags is not None:
+        lines.append(
+            "  tag table: %d instructions, %d read + %d write operands, "
+            "mean %.2f bytes/operand"
+            % (
+                tags["instructions"],
+                tags["read_operands"],
+                tags["write_operands"],
+                tags["mean_operand_bytes"],
+            )
+        )
+        lines.append(
+            "  tag read histogram: %s"
+            % " ".join(
+                "%sB=%s" % (k, tags["read_histogram"][k])
+                for k in ("1", "2", "3", "4")
+            )
+        )
     check = summary.get("crosscheck")
     if check is not None:
         lines.append(
@@ -488,9 +533,11 @@ def _cache_run(args):
 
 def _list_main(args):
     """Run ``repro list``: enumerate every name a script might need."""
+    from repro.core.compress import scheme_names
     from repro.pipeline.organizations import ALL_ORGANIZATIONS
 
     organizations = [org.name for org in ALL_ORGANIZATIONS]
+    schemes = list(scheme_names())
     workload_names = sorted(all_workloads())
     kernels = kernel_names()
     default_kernel = (
@@ -508,6 +555,7 @@ def _list_main(args):
                 for name in sorted(EXPERIMENTS)
             },
             "organizations": organizations,
+            "schemes": schemes,
             "workloads": workload_names,
             "kernels": kernels,
             "default_kernel": default_kernel,
@@ -520,6 +568,7 @@ def _list_main(args):
     for name in sorted(EXPERIMENTS):
         print("  %-22s %s" % (name, EXPERIMENTS[name].description))
     print("organizations: %s" % ", ".join(organizations))
+    print("schemes: %s" % ", ".join(schemes))
     print("workloads: %s" % ", ".join(workload_names))
     print(
         "kernels: %s"

@@ -1,14 +1,91 @@
-"""Compressed word container (significant blocks + extension bits).
+"""Compressed word container and the pluggable scheme registry.
 
 :class:`CompressedWord` is the storage format that registers, cache lines
 and pipeline latches hold in a significance-compressed machine: the
 significant blocks of a word plus its extension bits.  The container
 knows its scheme so it can decompress itself and account for its own
 storage cost.
+
+:data:`SCHEME_REGISTRY` is the one name→scheme table every consumer
+resolves through (:func:`get_scheme`): the crosscheck, the ablation
+runners, ``SchemeBitsWalker`` and ``repro list``.  Registering a scheme
+here is what makes it appear in every table and figure —
+``tools/check_invariants.py`` enforces that each registered name is also
+crosschecked and listed.  Alongside the paper's dynamic tag-bit schemes
+it registers :class:`StaticByteScheme`, the compile-time variant whose
+per-operand widths come from :mod:`repro.analysis.tag_table` instead of
+per-value extension bits.
 """
 
 from repro.core.bitutils import block_of
-from repro.core.extension import BYTE_SCHEME
+from repro.core.extension import (
+    BYTE_SCHEME,
+    HALFWORD_SCHEME,
+    TWO_BIT_SCHEME,
+    TwoBitScheme,
+)
+
+
+class UnknownSchemeError(ValueError):
+    """A scheme name that is not in :data:`SCHEME_REGISTRY`."""
+
+    def __init__(self, name):
+        super().__init__(
+            "unknown compression scheme %r (registered: %s)"
+            % (name, ", ".join(sorted(SCHEME_REGISTRY)))
+        )
+        self.name = name
+
+
+class StaticByteScheme(TwoBitScheme):
+    """Compile-time significance tagging: byte widths, zero tag bits.
+
+    Storage-wise this is ``byte2``'s contiguous-byte model with the
+    2-bit runtime tag deleted: the per-operand byte count is looked up
+    in the static tag table (:mod:`repro.analysis.tag_table`) that the
+    interprocedural analysis proved, so no per-value extension bits are
+    stored or moved.  Where the analysis is TOP the tag table says 4
+    bytes and the value rides at full width.  ``significant_bytes`` (the
+    *dynamic* minimal width) is inherited unchanged — the soundness
+    crosscheck compares it against the static tag, and a static tag
+    narrower than an executed value is a hard CI failure.
+    """
+
+    num_ext_bits = 0
+    name = "static-byte"
+
+
+#: The static tagging scheme singleton.
+STATIC_BYTE_SCHEME = StaticByteScheme()
+
+#: Every pluggable compression scheme, keyed by report name.  Keys are
+#: string literals on purpose: ``tools/check_invariants.py`` reads this
+#: dict from the AST to enforce registration coverage.
+SCHEME_REGISTRY = {
+    "byte3": BYTE_SCHEME,
+    "byte2": TWO_BIT_SCHEME,
+    "block16": HALFWORD_SCHEME,
+    "static-byte": STATIC_BYTE_SCHEME,
+}
+
+
+def get_scheme(name):
+    """Resolve a scheme by registry name (or pass a scheme through).
+
+    Raises :class:`UnknownSchemeError` — a ``ValueError`` — for names
+    outside :data:`SCHEME_REGISTRY`.
+    """
+    if isinstance(name, str):
+        try:
+            return SCHEME_REGISTRY[name]
+        except KeyError:
+            raise UnknownSchemeError(name) from None
+    return name
+
+
+def scheme_names():
+    """Registered scheme names, in registry (presentation) order."""
+    return tuple(SCHEME_REGISTRY)
 
 
 class CompressedWord:

@@ -133,8 +133,16 @@ class ActivityModel:
 
     def __init__(self, scheme=BYTE_SCHEME, compressor=None, hierarchy_config=None,
                  pc_block_bits=None, latch_boundaries=4,
-                 ext_bits_in_memory=False):
+                 ext_bits_in_memory=False, static_tags=None):
         self.scheme = scheme
+        # A static tag table (repro.analysis.tag_table.TagTable) switches
+        # the value-path accounting from dynamic per-value tags to the
+        # compile-time widths: every operand moves at the byte width the
+        # analysis proved for its instruction address, with zero stored
+        # or moved extension bits.  The tag arrays see no savings — the
+        # analysis does not bound addresses — so dcache_tag stays at the
+        # baseline width.
+        self.static_tags = static_tags
         # A custom compressor or hierarchy makes the model's output
         # unrepresentable by the declarative config key below.
         self._standard_config = compressor is None and hierarchy_config is None
@@ -157,9 +165,12 @@ class ActivityModel:
         The unit scheduler memoizes :meth:`process` outputs under this
         key; it must therefore cover everything that shapes a report.
         Returns ``None`` for models the key cannot express (custom
-        compressor or hierarchy), which opts them out of memoization.
+        compressor, hierarchy, or a static tag table — which is tied to
+        one specific program), which opts them out of memoization.
         """
         if not self._standard_config or self.scheme.name is None:
+            return None
+        if self.static_tags is not None:
             return None
         return (
             self.scheme.name,
@@ -173,6 +184,7 @@ class ActivityModel:
         scheme = self.scheme
         block_bits = scheme.block_bits
         ext_bits = scheme.num_ext_bits
+        static = self.static_tags
         hierarchy = MemoryHierarchy(self.hierarchy_config)
         pc_model = BlockSerialPC(block_bits=self.pc_block_bits)
         baseline = {stage: 0 for stage in STAGES}
@@ -197,29 +209,52 @@ class ActivityModel:
 
             # ---------------------------------------------------- rf read
             read_bits = 0
-            for value in record.read_values:
-                read_bits += scheme.significant_blocks(value) * block_bits + ext_bits
+            if static is not None:
+                for index in range(len(record.read_values)):
+                    read_bits += 8 * static.read_bytes(record.pc, index)
+            else:
+                for value in record.read_values:
+                    read_bits += (
+                        scheme.significant_blocks(value) * block_bits + ext_bits
+                    )
             baseline["rf_read"] += 32 * len(record.read_values)
             compressed["rf_read"] += read_bits
 
             # --------------------------------------------------- rf write
             if record.write_value is not None and instr.destination_register() is not None:
                 baseline["rf_write"] += 32
-                compressed["rf_write"] += (
-                    scheme.significant_blocks(record.write_value) * block_bits
-                    + ext_bits
-                )
+                if static is not None:
+                    compressed["rf_write"] += 8 * static.write_bytes(record.pc)
+                else:
+                    compressed["rf_write"] += (
+                        scheme.significant_blocks(record.write_value) * block_bits
+                        + ext_bits
+                    )
 
             # -------------------------------------------------------- alu
-            result = alu_activity(record, scheme)
-            if result is not None:
-                baseline["alu"] += 32
-                compressed["alu"] += result.bits_operated
-            elif record.alu_kind in ("mult", "div", "lui"):
-                baseline["alu"] += 32
-                a_blocks = scheme.significant_blocks(record.alu_a)
-                b_blocks = scheme.significant_blocks(record.alu_b)
-                compressed["alu"] += max(a_blocks, b_blocks) * block_bits
+            if static is not None:
+                # A statically tagged ALU is sized once per instruction
+                # address: its widest proven source operand.
+                if record.alu_kind is not None:
+                    baseline["alu"] += 32
+                    widest = max(
+                        (
+                            static.read_bytes(record.pc, index)
+                            for index in range(len(record.read_values))
+                        ),
+                        default=1,
+                    )
+                    compressed["alu"] += 8 * max(1, widest)
+            else:
+                result = alu_activity(record, scheme)
+                if result is not None:
+                    baseline["alu"] += 32
+                    compressed["alu"] += result.bits_operated
+                elif record.alu_kind in ("mult", "div", "lui"):
+                    baseline["alu"] += 32
+                    a_blocks = scheme.significant_blocks(record.alu_a)
+                    b_blocks = scheme.significant_blocks(record.alu_b)
+                    compressed["alu"] += max(a_blocks, b_blocks) * block_bits
 
             # ----------------------------------------------------- d-cache
             mem_value_bits = 0
@@ -228,8 +263,27 @@ class ActivityModel:
                     record.mem_addr, is_store=record.mem_is_store
                 )
                 access_bits = 8 * record.mem_size
-                value_blocks = scheme.significant_blocks(record.mem_value)
-                value_bits = min(value_blocks * block_bits, access_bits) + ext_bits
+                if static is not None:
+                    # Loads deliver the memory value to the destination
+                    # register (static bound: the write tag); stores
+                    # carry a source register already covered by the
+                    # read tags.
+                    if record.mem_is_store:
+                        value_bytes = max(
+                            (
+                                static.read_bytes(record.pc, index)
+                                for index in range(len(record.read_values))
+                            ),
+                            default=4,
+                        )
+                    else:
+                        value_bytes = static.write_bytes(record.pc)
+                    value_bits = min(8 * value_bytes, access_bits)
+                else:
+                    value_blocks = scheme.significant_blocks(record.mem_value)
+                    value_bits = (
+                        min(value_blocks * block_bits, access_bits) + ext_bits
+                    )
                 baseline["dcache_data"] += 32  # word-wide data array access
                 compressed["dcache_data"] += value_bits
                 mem_value_bits = value_bits
@@ -239,10 +293,18 @@ class ActivityModel:
                 # extension-bit comparison, but the physical array never
                 # exceeds the baseline tag width — savings are negligible
                 # for realistic (high) addresses, as the paper reports.
-                tag_value = record.mem_addr >> (32 - tag_bits)
-                tag_stored = scheme.significant_blocks(tag_value) * block_bits + ext_bits
+                # The static analysis does not bound addresses at all, so
+                # under static tags the compare stays at baseline width.
                 baseline["dcache_tag"] += tag_bits
-                compressed["dcache_tag"] += min(tag_bits, tag_stored)
+                if static is not None:
+                    compressed["dcache_tag"] += tag_bits
+                else:
+                    tag_value = record.mem_addr >> (32 - tag_bits)
+                    tag_stored = (
+                        scheme.significant_blocks(tag_value) * block_bits
+                        + ext_bits
+                    )
+                    compressed["dcache_tag"] += min(tag_bits, tag_stored)
                 # Line fill traffic, scaled by the running compression ratio.
                 if access.l1_fill:
                     line_bits = 8 * l1d.line_bytes
@@ -274,10 +336,13 @@ class ActivityModel:
             # ---------------------------------------------------- latches
             result_bits = 0
             if record.write_value is not None:
-                result_bits = (
-                    scheme.significant_blocks(record.write_value) * block_bits
-                    + ext_bits
-                )
+                if static is not None:
+                    result_bits = 8 * static.write_bytes(record.pc)
+                else:
+                    result_bits = (
+                        scheme.significant_blocks(record.write_value) * block_bits
+                        + ext_bits
+                    )
             latch_compressed = fetch_bits + read_bits + result_bits + mem_value_bits
             latch_baseline = 32 + 32 * len(record.read_values)
             if record.write_value is not None:

@@ -11,6 +11,8 @@ per (workload, organization) no matter how many experiments share them
 — and fans the runners out, serially or across worker processes.
 """
 
+from repro.analysis.tag_table import static_scheme_totals
+from repro.core.compress import STATIC_BYTE_SCHEME
 from repro.core.extension import BYTE_SCHEME, HALFWORD_SCHEME, TWO_BIT_SCHEME
 from repro.study import activity_study, cpi_study, funct_study, patterns_study, pc_study
 from repro.study.report import format_table, percent
@@ -19,10 +21,12 @@ from repro.study.scheduler import (
     ActivityUnit,
     FetchUnit,
     SimUnit,
+    TagTableUnit,
     WalkUnit,
     activity_config,
     resolve_activity_report,
     resolve_pipeline_result,
+    resolve_tag_table,
     resolve_walk_payload,
 )
 from repro.workloads import mediabench_suite
@@ -70,6 +74,9 @@ SCHEME_BITS_WALK = (
 )
 SEGMENT_BITS_WALK = ("segment_bits", SEGMENTATIONS)
 PC_WALK = pc_study.pc_walk_spec()
+#: Per-PC execution counts: weights the static tag table into the
+#: ``static-byte`` ablation row (stored bits per executed operand).
+PC_EXEC_WALK = ("pc_exec",)
 
 
 class ExperimentSpec:
@@ -174,6 +181,20 @@ def _walk_units(*specs):
     return build
 
 
+def _scheme_ablation_units(workloads, scale):
+    """The scheme ablation: its trace walks plus one tag table each.
+
+    The ``static-byte`` row multiplies each workload's static tag table
+    (a trace-free :class:`TagTableUnit`) by its per-PC execution counts
+    (the ``pc_exec`` walk, fused with the other walks' decode pass).
+    """
+    units = _walk_units(PATTERN_WALK, SCHEME_BITS_WALK, PC_EXEC_WALK)(
+        workloads, scale
+    )
+    units += [TagTableUnit(workload.name, scale) for workload in workloads]
+    return units
+
+
 def _energy_units(workloads, scale):
     """The energy estimate: every organization's CPI + byte activity."""
     units = _sim_units(("baseline32",) + ENERGY_ORGANIZATIONS)(workloads, scale)
@@ -246,11 +267,30 @@ def _stored_bit_ratios(workloads, spec, scale, store):
     ]
 
 
+def _static_scheme_ratio(workloads, scale, store):
+    """Suite-level ``static-byte`` stored-bits / 32 ratio.
+
+    Every executed operand is charged the byte width the static tag
+    table proved for its instruction address (zero tag bits); the
+    per-PC execution counts come from the ``pc_exec`` walk.
+    """
+    total_bits = 0
+    total_values = 0
+    for workload in workloads:
+        table = resolve_tag_table(workload, scale=scale, store=store)
+        payload = resolve_walk_payload(workload, PC_EXEC_WALK, scale, store=store)
+        totals = static_scheme_totals(table, payload["execs"])
+        total_bits += totals["bits"]
+        total_values += totals["values"]
+    return total_bits / (32.0 * total_values) if total_values else 0.0
+
+
 def _run_scheme_ablation(workloads=None, scale=1, store=None):
-    """Ablation: 2-bit vs 3-bit extension scheme storage/coverage."""
+    """Ablation: dynamic tag-bit schemes vs compile-time static tags."""
     workloads = workloads or mediabench_suite()
     counter = patterns_study.collect_pattern_counter(workloads, scale, store=store)
     ratios = _stored_bit_ratios(workloads, SCHEME_BITS_WALK, scale, store)
+    static_ratio = _static_scheme_ratio(workloads, scale, store)
     rows = []
     for scheme, ratio in zip(ABLATION_SCHEMES, ratios):
         rows.append(
@@ -262,11 +302,22 @@ def _run_scheme_ablation(workloads=None, scale=1, store=None):
                 percent(1 - ratio),
             )
         )
+    rows.append(
+        (
+            STATIC_BYTE_SCHEME.name,
+            STATIC_BYTE_SCHEME.num_ext_bits,
+            percent(STATIC_BYTE_SCHEME.overhead_ratio()),
+            "%.3f" % static_ratio,
+            percent(1 - static_ratio),
+        )
+    )
     text = format_table(
         ("scheme", "ext bits", "overhead", "stored bits / 32", "net savings"),
         rows,
         title=(
             "Ablation (Section 2.1 trade-off) — extension-bit schemes\n"
+            "(static-byte: per-PC widths proven at compile time, no tag "
+            "bits)\n"
             "2-bit coverage of operand values: %s (paper ~94%%)"
             % percent(counter.two_bit_representable_fraction())
         ),
@@ -491,10 +542,10 @@ _SPEC_TABLE = (
      None, _sim_units(("byte_serial",))),
     (
         "ablation-schemes",
-        "Ablation: 2-bit vs 3-bit vs halfword schemes",
+        "Ablation: 2-bit vs 3-bit vs halfword vs static-byte schemes",
         _run_scheme_ablation,
         None,
-        _walk_units(PATTERN_WALK, SCHEME_BITS_WALK),
+        _scheme_ablation_units,
     ),
     (
         "ablation-granularity",

@@ -47,7 +47,13 @@ from repro.analysis.driver import (
     unwrap_analysis_payload,
     wrap_analysis_payload,
 )
-from repro.core.extension import BYTE_SCHEME, SCHEMES
+from repro.analysis.tag_table import (
+    build_tag_table,
+    unwrap_tag_payload,
+    wrap_tag_payload,
+)
+from repro.core.compress import get_scheme
+from repro.core.extension import BYTE_SCHEME
 from repro.core.icompress import FetchStatistics
 from repro.pipeline.activity import ActivityModel, ActivityReport
 from repro.pipeline.base import InOrderPipeline, PipelineResult
@@ -70,11 +76,36 @@ from repro.study.walkers import (
 BIMODAL_VARIANT = "bimodal"
 
 
+class _UnitIdentity:
+    """Unit identity includes the unit *type*, not just the field tuple.
+
+    namedtuple equality is plain tuple equality, so two unit kinds with
+    the same field shape — ``FetchUnit``, ``AnalysisUnit`` and
+    ``TagTableUnit`` are all ``(workload, scale)`` — would otherwise
+    collide as broker memo keys and serve each other's results.
+    """
+
+    __slots__ = ()
+
+    def __hash__(self):
+        """Hash over ``(kind, *fields)`` so distinct kinds never collide."""
+        return hash((self.kind,) + tuple(self))
+
+    def __eq__(self, other):
+        """Equal only to the same unit type with the same fields."""
+        return self.__class__ is other.__class__ and tuple(self) == tuple(other)
+
+    def __ne__(self, other):
+        """The negation of :meth:`__eq__` (namedtuple would say tuple ne)."""
+        return not self.__eq__(other)
+
+
 class SimUnit(
+    _UnitIdentity,
     namedtuple(
         "SimUnit",
         ("workload", "scale", "organization", "variant", "kernel", "hierarchy"),
-    )
+    ),
 ):
     """One pipeline simulation:
     (workload, scale, organization, variant, kernel, hierarchy).
@@ -134,7 +165,9 @@ class SimUnit(
         return "%s@%d/%s" % (self.workload, self.scale, self.slug())
 
 
-class ActivityUnit(namedtuple("ActivityUnit", ("workload", "scale", "config"))):
+class ActivityUnit(
+    _UnitIdentity, namedtuple("ActivityUnit", ("workload", "scale", "config"))
+):
     """One activity-model pass; ``config`` is ActivityModel.config_key()."""
 
     __slots__ = ()
@@ -158,7 +191,7 @@ class ActivityUnit(namedtuple("ActivityUnit", ("workload", "scale", "config"))):
         return "%s@%d/%s" % (self.workload, self.scale, self.slug())
 
 
-class FetchUnit(namedtuple("FetchUnit", ("workload", "scale"))):
+class FetchUnit(_UnitIdentity, namedtuple("FetchUnit", ("workload", "scale"))):
     """One fetch-statistics walk (default instruction compressor)."""
 
     __slots__ = ()
@@ -177,7 +210,9 @@ class FetchUnit(namedtuple("FetchUnit", ("workload", "scale"))):
         return "%s@%d/fetch" % (self.workload, self.scale)
 
 
-class WalkUnit(namedtuple("WalkUnit", ("workload", "scale", "walker"))):
+class WalkUnit(
+    _UnitIdentity, namedtuple("WalkUnit", ("workload", "scale", "walker"))
+):
     """One trace-walk reduction; ``walker`` is a spec tuple.
 
     See :mod:`repro.study.walkers` for the spec vocabulary.  The spec
@@ -206,7 +241,9 @@ class WalkUnit(namedtuple("WalkUnit", ("workload", "scale", "walker"))):
         return "%s@%d/%s" % (self.workload, self.scale, self.slug())
 
 
-class AnalysisUnit(namedtuple("AnalysisUnit", ("workload", "scale"))):
+class AnalysisUnit(
+    _UnitIdentity, namedtuple("AnalysisUnit", ("workload", "scale"))
+):
     """One static-analysis summary (CFG + significance bounds + lints).
 
     Unlike every other unit kind this one needs no trace — it analyzes
@@ -232,6 +269,34 @@ class AnalysisUnit(namedtuple("AnalysisUnit", ("workload", "scale"))):
         return "%s@%d/analyze" % (self.workload, self.scale)
 
 
+class TagTableUnit(
+    _UnitIdentity, namedtuple("TagTableUnit", ("workload", "scale"))
+):
+    """One static tag table (per-PC operand widths for ``static-byte``).
+
+    Like :class:`AnalysisUnit` this needs no trace — the table comes
+    from the interprocedural analysis of the *assembled program* — so
+    the broker computes it without touching the trace store.  The
+    analysis version rides in the descriptor and the stored envelope,
+    so tables from an older analyzer fail closed and recompute.
+    """
+
+    __slots__ = ()
+    kind = "tags"
+
+    def descriptor(self):
+        """JSON-able identity for the persistent result store."""
+        return {"kind": self.kind, "version": ANALYSIS_VERSION}
+
+    def slug(self):
+        """Filename-safe unit name."""
+        return "tags"
+
+    def label(self):
+        """Human-readable counter key."""
+        return "%s@%d/tags" % (self.workload, self.scale)
+
+
 def activity_config(scheme=BYTE_SCHEME, ext_bits_in_memory=False):
     """The config key of a study-standard ActivityModel over ``scheme``.
 
@@ -247,7 +312,7 @@ def model_from_config(config):
     """Reconstruct the ActivityModel an :class:`ActivityUnit` describes."""
     scheme_name, pc_block_bits, latch_boundaries, ext_bits_in_memory = config
     return ActivityModel(
-        scheme=SCHEMES[scheme_name],
+        scheme=get_scheme(scheme_name),
         pc_block_bits=pc_block_bits,
         latch_boundaries=latch_boundaries,
         ext_bits_in_memory=ext_bits_in_memory,
@@ -265,6 +330,8 @@ def _result_from_payload(unit, payload):
             return unwrap_payload(unit.walker, payload)
         if isinstance(unit, AnalysisUnit):
             return unwrap_analysis_payload(payload)
+        if isinstance(unit, TagTableUnit):
+            return unwrap_tag_payload(payload)
         return FetchStatistics.from_dict(payload)
     except (ValueError, TypeError):
         return None
@@ -438,6 +505,11 @@ class ResultBroker:
         unit = AnalysisUnit(workload.name, scale)
         return self._ensure(unit, workload)
 
+    def tag_table(self, workload, scale=1):
+        """Memoized static tag table of one workload's program."""
+        unit = TagTableUnit(workload.name, scale)
+        return self._ensure(unit, workload)
+
     def walk_payload(self, workload, spec, scale=1):
         """Memoized payload of one trace walker over one workload."""
         return self.walk_payloads(workload, (spec,), scale=scale)[0]
@@ -556,7 +628,7 @@ class ResultBroker:
         # in-memory list.
         warmed = set()
         for unit in pending:
-            if isinstance(unit, AnalysisUnit):
+            if isinstance(unit, (AnalysisUnit, TagTableUnit)):
                 continue  # static analysis never touches a trace
             key = (unit.workload, unit.scale)
             if key not in warmed:
@@ -745,6 +817,10 @@ class ResultBroker:
             # Static analysis runs over the assembled program; fetching
             # (or worse, simulating) a trace here would be pure waste.
             return analyze_workload(workload, scale=unit.scale), None
+        if isinstance(unit, TagTableUnit):
+            # Same discipline: the tag table is a pure function of the
+            # assembled program, so no trace is touched either.
+            return build_tag_table(workload.program(unit.scale)), None
         records = self.traces.trace(workload, scale=unit.scale)
         if isinstance(unit, SimUnit):
             organization = get_organization(unit.organization)
@@ -787,6 +863,8 @@ class ResultBroker:
                 payload = wrap_payload(unit.walker, result)
             elif isinstance(unit, AnalysisUnit):
                 payload = wrap_analysis_payload(result)
+            elif isinstance(unit, TagTableUnit):
+                payload = wrap_tag_payload(result)
             else:
                 payload = result.to_dict()
             self.store.store(workload, unit, payload)
@@ -857,6 +935,14 @@ def resolve_analysis_summary(workload, scale=1, store=None):
     if broker is not None:
         return broker.analysis_summary(workload, scale=scale)
     return analyze_workload(workload, scale=scale)
+
+
+def resolve_tag_table(workload, scale=1, store=None):
+    """(Memoized, when possible) static tag table for a workload."""
+    broker = getattr(store, "results", None) if store is not None else None
+    if broker is not None:
+        return broker.tag_table(workload, scale=scale)
+    return build_tag_table(workload.program(scale))
 
 
 def resolve_walk_payload(workload, spec, scale, store=None):

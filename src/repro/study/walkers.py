@@ -31,7 +31,8 @@ descriptors.  :func:`build_walker` turns a spec into a fresh reducer;
 envelope stored on disk.
 """
 
-from repro.core.extension import SCHEMES, SegmentedScheme
+from repro.core.compress import get_scheme
+from repro.core.extension import SegmentedScheme
 from repro.core.patterns import PatternCounter, pattern_of
 from repro.core.pc import BlockSerialPC
 from repro.obs import tracing
@@ -61,6 +62,8 @@ def walker_slug(spec):
         return "segbits-" + "-".join(
             "x".join(str(s) for s in segments) for segments in spec[1]
         )
+    if kind == "pc_exec":
+        return "pcexec"
     raise ValueError("unknown walker kind %r" % (kind,))
 
 
@@ -338,7 +341,7 @@ class SchemeBitsWalker(_StoredBitsWalker):
 
     def __init__(self, scheme_names):
         self.scheme_names = tuple(scheme_names)
-        super().__init__(SCHEMES[name] for name in self.scheme_names)
+        super().__init__(get_scheme(name) for name in self.scheme_names)
 
     def finish(self):
         """The JSON-able per-workload payload (see :func:`wrap_payload`)."""
@@ -369,10 +372,45 @@ class SegmentBitsWalker(_StoredBitsWalker):
         }
 
 
+class PcExecWalker(TraceWalker):
+    """Per-PC execution counts — the static scheme's dynamic weighting.
+
+    The ``static-byte`` ablation row multiplies per-PC tag-table operand
+    widths (:func:`repro.analysis.tag_table.static_scheme_totals`) by how
+    often each instruction executed; this walker supplies the counts.
+    Payload merge is per-PC integer addition, which the suite aggregation
+    does by summing the per-workload totals it derives.
+    """
+
+    kind = "pc_exec"
+
+    def __init__(self):
+        self.counts = {}
+
+    def feed(self, record):
+        """Fold one trace record into the walker state."""
+        counts = self.counts
+        counts[record.pc] = counts.get(record.pc, 0) + 1
+
+    def finish(self):
+        """The JSON-able per-workload payload (see :func:`wrap_payload`)."""
+        return {
+            "execs": [
+                [pc, count] for pc, count in sorted(self.counts.items())
+            ]
+        }
+
+
 #: Walker kind -> class; specs are ``(kind, *params)`` tuples.
 WALKERS = {
     walker.kind: walker
-    for walker in (PatternWalker, PCWalker, SchemeBitsWalker, SegmentBitsWalker)
+    for walker in (
+        PatternWalker,
+        PCWalker,
+        SchemeBitsWalker,
+        SegmentBitsWalker,
+        PcExecWalker,
+    )
 }
 
 

@@ -35,10 +35,18 @@ from repro.analysis import (
     wrap_analysis_payload,
 )
 from repro.analysis.cfg import reachable_blocks
+from repro.analysis.crosscheck import DEFAULT_SCHEMES, scheme_bound_bytes
 from repro.analysis.lints import dead_writes, unreachable_blocks, use_before_def
+from repro.analysis.tag_table import build_tag_table, TagTable
 from repro.asm import assemble
 from repro.cli import main
-from repro.study.walkers import build_walker
+from repro.core.compress import (
+    STATIC_BYTE_SCHEME,
+    UnknownSchemeError,
+    scheme_names,
+)
+from repro.pipeline.activity import ActivityModel
+from repro.study.walkers import build_walker, unwrap_payload, wrap_payload
 from repro.workloads import get_workload, mediabench_suite
 
 SUITE = tuple(workload.name for workload in mediabench_suite())
@@ -211,6 +219,98 @@ def test_cli_analyze_crosscheck(capsys):
     assert main(["analyze", "rawcaudio", "--crosscheck"]) == 0
     out = capsys.readouterr().out
     assert "crosscheck: ok" in out
+
+
+def test_cli_analyze_tags(capsys):
+    assert main(["analyze", "rawcaudio", "--tags"]) == 0
+    out = capsys.readouterr().out
+    assert "tag table:" in out
+
+
+def test_cli_analyze_crosscheck_json_slack_summary(capsys):
+    assert main(
+        ["analyze", "rawcaudio", "--crosscheck", "--format", "json"]
+    ) == 0
+    summary = json.loads(capsys.readouterr().out)[0]
+    slack = summary["slack_summary"]
+    assert set(slack) == set(DEFAULT_SCHEMES)
+    for entry in slack.values():
+        assert entry["slack_percent"] >= 0.0
+        assert sum(entry["static_histogram"].values()) == sum(
+            entry["dynamic_histogram"].values()
+        )
+
+
+def test_cli_list_enumerates_registered_schemes(capsys):
+    assert main(["list"]) == 0
+    text = capsys.readouterr().out
+    assert "schemes: %s" % ", ".join(scheme_names()) in text
+    assert main(["list", "--format", "json"]) == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert tuple(listing["schemes"]) == scheme_names()
+
+
+# ------------------------------------------------ static-byte scheme
+
+
+def test_scheme_bound_bytes_unknown_scheme_raises():
+    with pytest.raises(UnknownSchemeError) as excinfo:
+        scheme_bound_bytes(3, "zstd")
+    assert "zstd" in str(excinfo.value)
+    assert isinstance(excinfo.value, ValueError)  # catchable as ValueError
+    # Known names resolve: block16 rounds up to its halfword granule.
+    assert scheme_bound_bytes(3, "block16") == 4
+    assert scheme_bound_bytes(3, "byte2") == 3
+
+
+def test_pc_exec_walker_counts_and_envelope():
+    workload = get_workload("synth_small")
+    records = workload.trace()
+    walker = build_walker(("pc_exec",))
+    for record in records:
+        walker.feed(record)
+    payload = walker.finish()
+    assert sum(count for _, count in payload["execs"]) == len(records)
+    pcs = [pc for pc, _ in payload["execs"]]
+    assert pcs == sorted(pcs)
+    envelope = wrap_payload(("pc_exec",), payload)
+    assert unwrap_payload(("pc_exec",), envelope) == payload
+
+
+def test_static_activity_model_is_sound_and_unmemoizable():
+    workload = get_workload("synth_small")
+    table = build_tag_table(workload.program())
+    model = ActivityModel(scheme=STATIC_BYTE_SCHEME, static_tags=table)
+    # Per-record tag lookups cannot be captured in a flat config tuple,
+    # so a static model must opt out of result-store memoization.
+    assert model.config_key() is None
+    report = model.process(workload.trace(), name=workload.name)
+    for key, baseline_bits in report.baseline.items():
+        assert report.compressed[key] <= baseline_bits, key
+    # Zero extension bits anywhere: the tags live in the tag table.
+    assert STATIC_BYTE_SCHEME.num_ext_bits == 0
+
+
+def test_broker_tag_table_unit_is_distinct_from_analysis_unit():
+    # Regression: FetchUnit, AnalysisUnit and TagTableUnit share the
+    # (workload, scale) field shape; with plain namedtuple identity the
+    # broker memo served the analysis summary dict as a "tag table".
+    from repro.study.scheduler import AnalysisUnit, FetchUnit, TagTableUnit
+    from repro.study.scheduler import ResultBroker
+    from repro.study.session import TraceStore
+
+    assert TagTableUnit("w", 1) != AnalysisUnit("w", 1)
+    assert TagTableUnit("w", 1) != FetchUnit("w", 1)
+    assert len({TagTableUnit("w", 1), AnalysisUnit("w", 1), FetchUnit("w", 1)}) == 3
+
+    workload = get_workload("synth_small")
+    broker = ResultBroker(TraceStore())
+    summary = broker.analysis_summary(workload)
+    table = broker.tag_table(workload)
+    assert isinstance(summary, dict)
+    assert isinstance(table, TagTable)
+    # Memoized on repeat, still the right object.
+    assert broker.tag_table(workload) is table
 
 
 def test_check_invariants_tool_passes():

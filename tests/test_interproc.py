@@ -1,0 +1,373 @@
+"""Tests for the interprocedural analysis layer and the static tag table.
+
+Five contracts:
+
+* **termination**: the summary-based fixpoint converges on programs
+  built to stress it — an irreducible loop (two entry points into the
+  same cycle) with an unbounded counter forces the widening operator to
+  fire, and a recursive function forces the outer summary fixpoint to
+  iterate;
+* **precision**: stack-slot tracking keeps a spilled value's proven
+  width across a call (the intraprocedural analysis reloads at TOP),
+  branch-edge refinement narrows a REGIMM-tested register, and on the
+  real suite the interprocedural bounds are strictly tighter than the
+  intraprocedural ones on at least three workloads (never looser on
+  any) — the headline claim of this layer;
+* **soundness**: on hand-built call-heavy programs (including the
+  recursive one) the bounds cross-check clean against an actual
+  execution under every registered scheme;
+* **bailout**: programs that defeat the model (``jalr``) raise
+  :class:`~repro.analysis.InterprocBailout`, and
+  :func:`~repro.analysis.operand_bounds` falls back to the
+  intraprocedural analysis instead of failing;
+* **tag table**: the per-PC table the ``static-byte`` scheme reads
+  agrees with the bounds it was built from, persists through its
+  versioned envelope, and fails closed on version skew.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ANALYSIS_VERSION,
+    InterprocBailout,
+    build_cfg,
+    build_tag_table,
+    crosscheck_records,
+    interprocedural_bounds,
+    operand_bounds,
+    significance_bounds,
+    static_scheme_totals,
+    tag_table_stats,
+    unwrap_tag_payload,
+    wrap_tag_payload,
+)
+from repro.analysis.cfg import reachable_blocks
+from repro.asm import assemble
+from repro.sim.trace import run_trace
+from repro.workloads import get_workload, mediabench_suite
+
+SUITE = tuple(workload.name for workload in mediabench_suite())
+
+
+def _pc_of(cfg, mnemonic, nth=0):
+    """Address of the nth instruction with ``mnemonic`` in text order."""
+    hits = [
+        pc
+        for block in cfg.blocks
+        for pc, instr in zip(block.addresses(), block.instructions)
+        if instr.mnemonic == mnemonic
+    ]
+    return hits[nth]
+
+
+def _reachable_pcs(cfg):
+    reachable = reachable_blocks(cfg)
+    return {
+        pc
+        for block in cfg.blocks
+        if block.index in reachable
+        for pc in block.addresses()
+    }
+
+
+def _total_operand_bytes(bounds):
+    """Summed static operand widths — the tightening metric."""
+    total = 0
+    for bound in bounds.values():
+        total += sum(bound.read_bytes)
+        if bound.write_bytes is not None:
+            total += bound.write_bytes
+    return total
+
+
+# Functions are laid out *before* main so nothing falls through from
+# main's exit-syscall block into a callee body: the tests below assert
+# exact per-instruction bounds, which spurious fallthrough paths from
+# the (statically non-terminating) syscall block would smear.
+
+#: A value spilled around a call plus a callee-saved register: the
+#: reload and the preserved $s0 must both keep their one-byte widths.
+SPILL_PROGRAM = """
+    .text
+    f_leaf:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+        li    $v0, 7
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        jr    $ra
+    main:
+        li    $t0, 42
+        li    $s0, 100
+        addiu $sp, $sp, -8
+        sw    $t0, 4($sp)
+        jal   f_leaf
+        lw    $t1, 4($sp)
+        addu  $a0, $t1, $zero
+        addu  $a1, $s0, $zero
+        addiu $sp, $sp, 8
+        li    $v0, 10
+        syscall
+"""
+
+#: Recursive sum(1..n): contexts must converge under self-recursion and
+#: the summary must carry $v0 back through every unwinding call site.
+RECURSIVE_PROGRAM = """
+    .data
+    result: .word 0
+    .text
+    f_sum:
+        blez  $a0, f_sum_base
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+        sw    $a0, 0($sp)
+        addiu $a0, $a0, -1
+        jal   f_sum
+        lw    $a0, 0($sp)
+        lw    $ra, 4($sp)
+        addu  $v0, $v0, $a0
+        addiu $sp, $sp, 8
+        jr    $ra
+    f_sum_base:
+        li    $v0, 0
+        jr    $ra
+    main:
+        li    $a0, 6
+        jal   f_sum
+        la    $t0, result
+        sw    $v0, 0($t0)
+        li    $v0, 10
+        syscall
+"""
+
+#: Two entries into the {head, midloop} cycle (beq jumps into the
+#: middle, bne loops back to the top): an irreducible loop whose counter
+#: grows every iteration, so only widening terminates the fixpoint.
+IRREDUCIBLE_PROGRAM = """
+    .data
+    seed: .word 5
+    .text
+    main:
+        la    $t9, seed
+        lw    $t8, 0($t9)
+        li    $t0, 1
+        beq   $t8, $zero, midloop
+    head:
+        addiu $t0, $t0, 1
+    midloop:
+        addiu $t0, $t0, 2
+        bne   $t0, $t8, head
+        li    $v0, 10
+        syscall
+"""
+
+#: A REGIMM branch over a value in [-200, 55]: the bgez-taken edge must
+#: prove [0, 55] (one byte) while the fallthrough keeps two bytes.
+REGIMM_PROGRAM = """
+    .data
+    seed: .word 123
+    .text
+    main:
+        la    $t0, seed
+        lw    $t1, 0($t0)
+        andi  $t2, $t1, 255
+        addiu $t3, $t2, -200
+        bgez  $t3, nonneg
+        addu  $a0, $t3, $zero
+        j     exit
+    nonneg:
+        addu  $a1, $t3, $zero
+    exit:
+        li    $v0, 10
+        syscall
+"""
+
+
+# ------------------------------------------------- widening termination
+
+
+def test_widening_terminates_on_irreducible_loop():
+    program = assemble(IRREDUCIBLE_PROGRAM)
+    cfg = build_cfg(program)
+    reachable_pcs = _reachable_pcs(cfg)
+    for bounds in (significance_bounds(cfg), interprocedural_bounds(program)):
+        assert set(bounds) == reachable_pcs
+        for bound in bounds.values():
+            for width in bound.read_bytes:
+                assert 1 <= width <= 4
+            if bound.write_bytes is not None:
+                assert 1 <= bound.write_bytes <= 4
+
+
+# --------------------------------------------- branch-edge refinement
+
+
+def test_regimm_branch_edge_refinement():
+    program = assemble(REGIMM_PROGRAM)
+    cfg = build_cfg(program)
+    negative_use = _pc_of(cfg, "addu", 0)  # fallthrough: $t3 in [-200, -1]
+    nonneg_use = _pc_of(cfg, "addu", 1)  # taken: $t3 in [0, 55]
+    for bounds in (significance_bounds(cfg), interprocedural_bounds(program)):
+        assert bounds[negative_use].read_bytes == (2, 1)
+        assert bounds[nonneg_use].read_bytes == (1, 1)
+
+
+# --------------------------------------------- stack slots across calls
+
+
+def test_spill_reload_keeps_width_across_call():
+    program = assemble(SPILL_PROGRAM)
+    cfg = build_cfg(program)
+    reload_use = _pc_of(cfg, "addu", 0)  # $t1 reloaded from the spill slot
+    saved_use = _pc_of(cfg, "addu", 1)  # $s0 preserved by the callee
+
+    inter = interprocedural_bounds(program)
+    assert inter[reload_use].read_bytes == (1, 1)  # 42 survives the call
+    assert inter[saved_use].read_bytes == (1, 1)  # 100 survives the call
+
+    # The intraprocedural analysis reloads at TOP: this is exactly the
+    # precision the stack-slot layer adds.
+    intra = significance_bounds(cfg)
+    assert intra[reload_use].read_bytes == (4, 1)
+
+    records, _ = run_trace(program)
+    report = crosscheck_records(inter, records)
+    assert report["ok"], report["violation_samples"]
+
+
+# ------------------------------------------------- recursive soundness
+
+
+def test_recursive_call_summary_is_sound():
+    program = assemble(RECURSIVE_PROGRAM)
+    bounds = interprocedural_bounds(program)
+    records, _ = run_trace(program)
+
+    # The program actually recursed and computed sum(1..6).
+    result_addr = program.symbols["result"]
+    stores = [
+        record
+        for record in records
+        if record.mem_is_store and record.mem_addr == result_addr
+    ]
+    assert stores[-1].mem_value == 21
+
+    # Every executed value fits its static bound under every scheme.
+    report = crosscheck_records(bounds, records)
+    assert report["ok"], report["violation_samples"]
+    assert report["violations"] == 0
+
+    # The bounds cover exactly the reachable instructions.
+    assert set(bounds) == _reachable_pcs(build_cfg(program))
+
+
+# ------------------------------------------------------------ bailout
+
+
+def test_jalr_bails_out_and_operand_bounds_falls_back():
+    program = assemble(
+        """
+        .text
+        f_target:
+            li    $v0, 1
+            jr    $ra
+        main:
+            la    $t0, f_target
+            jalr  $t0
+            li    $v0, 10
+            syscall
+        """
+    )
+    with pytest.raises(InterprocBailout):
+        interprocedural_bounds(program)
+    # The public entry point degrades to the intraprocedural result.
+    fallback = operand_bounds(program)
+    intra = significance_bounds(build_cfg(program))
+    assert set(fallback) == set(intra)
+    for pc, bound in fallback.items():
+        assert bound.read_bytes == intra[pc].read_bytes
+        assert bound.write_bytes == intra[pc].write_bytes
+
+
+# ------------------------------------- suite-wide tightening (headline)
+
+
+def test_interprocedural_tightens_suite_bounds():
+    """The acceptance criterion: call-aware analysis strictly tightens
+    the static bounds on at least three suite workloads and never
+    loosens any instruction's bound anywhere."""
+    tightened = []
+    for name in SUITE:
+        program = get_workload(name).program()
+        intra = significance_bounds(build_cfg(program))
+        inter = interprocedural_bounds(program)
+        assert set(inter) == set(intra)
+        for pc, inter_bound in inter.items():
+            intra_bound = intra[pc]
+            for wide, narrow in zip(
+                intra_bound.read_bytes, inter_bound.read_bytes
+            ):
+                assert narrow <= wide, "loosened read at 0x%08x" % pc
+            if inter_bound.write_bytes is not None:
+                assert inter_bound.write_bytes <= intra_bound.write_bytes, (
+                    "loosened write at 0x%08x" % pc
+                )
+        if _total_operand_bytes(inter) < _total_operand_bytes(intra):
+            tightened.append(name)
+    assert len(tightened) >= 3, tightened
+
+
+# ----------------------------------------------------------- tag table
+
+
+def test_tag_table_matches_bounds_and_roundtrips():
+    program = get_workload("rawcaudio").program()
+    bounds = operand_bounds(program)
+    table = build_tag_table(program)
+
+    assert len(table) == len(bounds)
+    for pc, bound in bounds.items():
+        for index, width in enumerate(bound.read_bytes):
+            assert table.read_bytes(pc, index) == width
+        if bound.write_bytes is not None:
+            assert table.write_bytes(pc) == bound.write_bytes
+
+    # Unknown addresses and out-of-range operands fall back full-width.
+    assert table.read_bytes(0xDEADBEE0, 0) == 4
+    assert table.write_bytes(0xDEADBEE0) == 4
+
+    # The persistence envelope roundtrips and fails closed on skew.
+    payload = wrap_tag_payload(table)
+    assert payload["version"] == ANALYSIS_VERSION
+    assert unwrap_tag_payload(payload) == table
+    with pytest.raises(ValueError):
+        unwrap_tag_payload(dict(payload, version=ANALYSIS_VERSION + 1))
+    with pytest.raises(ValueError):
+        unwrap_tag_payload(dict(payload, kind="analysis"))
+
+    stats = tag_table_stats(table)
+    assert stats["instructions"] == len(table)
+    assert sum(stats["read_histogram"].values()) == stats["read_operands"]
+
+
+def test_static_scheme_totals_weighting():
+    workload = get_workload("rawcaudio")
+    table = build_tag_table(workload.program())
+    records = workload.trace()
+
+    execs = {}
+    expected_bits = 0
+    expected_values = 0
+    for record in records:
+        execs[record.pc] = execs.get(record.pc, 0) + 1
+        for index in range(len(record.read_values)):
+            expected_bits += 8 * table.read_bytes(record.pc, index)
+            expected_values += 1
+        if record.write_value is not None:
+            expected_bits += 8 * table.write_bytes(record.pc)
+            expected_values += 1
+
+    totals = static_scheme_totals(table, sorted(execs.items()))
+    assert totals["missing"] == 0
+    assert totals["bits"] == expected_bits
+    assert totals["values"] == expected_values

@@ -212,8 +212,9 @@ class TestFusedScheduling:
             count == 1 for count in session.store.decode_misses.values()
         ), session.store.decode_misses
         assert len(session.store.decode_misses) == len(FAST)
-        # 4 specs per workload computed, every re-request memo-served.
-        assert sum(session.results.walk_misses.values()) == 4 * len(FAST)
+        # 5 specs per workload (patterns, pc, scheme_bits, segment_bits,
+        # pc_exec) computed, every re-request memo-served.
+        assert sum(session.results.walk_misses.values()) == 5 * len(FAST)
 
     def test_fused_path_streams_without_materializing(self, tmp_path):
         # Warm trace cache + cold result store: the fused pass must

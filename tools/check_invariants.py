@@ -35,6 +35,14 @@ Two documentation invariants ride along:
    timer would bypass the tracer and the metrics registry), and every
    module on the instrumented list must import ``repro.obs``.
 
+6. **Scheme registration** — every compression scheme registered in
+   ``repro.core.compress.SCHEME_REGISTRY`` must also be soundness
+   cross-checked (a member of ``crosscheck.DEFAULT_SCHEMES``) and
+   surfaced by ``repro list`` (the CLI references ``scheme_names``);
+   every legacy ``extension.SCHEMES`` name must be in the registry.  A
+   scheme that is registered but never cross-checked could silently
+   under-claim bits in every table it appears in.
+
 Everything here is AST-based: the checker parses sources, it never
 imports ``repro`` (so it runs before the package does, and a syntax
 error in the tree is itself a finding).  Run from the repo root:
@@ -654,6 +662,99 @@ def check_observability(errors):
             )
 
 
+def _assigned_dict_string_keys(tree, name):
+    """The string keys of a module-level ``NAME = {...}`` dict literal."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets and isinstance(node.value, ast.Dict):
+                keys = []
+                for key in node.value.keys:
+                    if not isinstance(key, ast.Constant) or not isinstance(
+                        key.value, str
+                    ):
+                        return None
+                    keys.append(key.value)
+                return tuple(keys)
+    return None
+
+
+def _assigned_dict_value_names(tree, name):
+    """Identifier names among a ``NAME = {...}`` dict literal's values."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets and isinstance(node.value, ast.Dict):
+                return tuple(
+                    value.id
+                    for value in node.value.values
+                    if isinstance(value, ast.Name)
+                )
+    return None
+
+
+def check_registered_schemes(errors):
+    """Invariant 6: registered schemes are cross-checked and listed."""
+    registry_path = "src/repro/core/compress.py"
+    crosscheck_path = "src/repro/analysis/crosscheck.py"
+    registered = _assigned_dict_string_keys(
+        _parse(registry_path), "SCHEME_REGISTRY"
+    )
+    if registered is None:
+        errors.append(
+            "%s: SCHEME_REGISTRY is not a dict literal with string keys "
+            "(the registration check cannot read it)" % registry_path
+        )
+        return
+    crosschecked = _assigned_string_tuple(
+        _parse(crosscheck_path), "DEFAULT_SCHEMES"
+    )
+    if crosschecked is None:
+        errors.append(
+            "%s: DEFAULT_SCHEMES is not a literal tuple of scheme names"
+            % crosscheck_path
+        )
+        return
+    for name in registered:
+        if name not in crosschecked:
+            errors.append(
+                "%s: registered scheme %r is not in crosscheck."
+                "DEFAULT_SCHEMES — it would ship without a soundness "
+                "gate" % (registry_path, name)
+            )
+    for name in crosschecked:
+        if name not in registered:
+            errors.append(
+                "%s: DEFAULT_SCHEMES names %r but SCHEME_REGISTRY does "
+                "not register it" % (crosscheck_path, name)
+            )
+    # The legacy extension.SCHEMES table keys by ``X.name`` attribute, so
+    # compare the singleton identifiers its values reference instead:
+    # every legacy scheme object must also be a registry value.
+    legacy = _assigned_dict_value_names(
+        _parse("src/repro/core/extension.py"), "SCHEMES"
+    )
+    registry_values = _assigned_dict_value_names(
+        _parse(registry_path), "SCHEME_REGISTRY"
+    )
+    if legacy is None:
+        errors.append(
+            "src/repro/core/extension.py: SCHEMES is not a dict literal"
+        )
+    elif registry_values is not None:
+        for name in legacy:
+            if name not in registry_values:
+                errors.append(
+                    "src/repro/core/extension.py: scheme singleton %s is "
+                    "absent from compress.SCHEME_REGISTRY" % name
+                )
+    if not _references_name(_parse("src/repro/cli.py"), "scheme_names"):
+        errors.append(
+            "src/repro/cli.py: `repro list` no longer references "
+            "scheme_names (registered schemes must stay enumerable)"
+        )
+
+
 def main():
     errors = []
     check_fingerprint_coverage(errors)
@@ -661,6 +762,7 @@ def main():
     check_registered_walkers(errors)
     check_registered_kernels(errors)
     check_registered_hierarchies(errors)
+    check_registered_schemes(errors)
     check_cli_docs(errors)
     check_docstrings(errors)
     check_observability(errors)

@@ -17,6 +17,9 @@ tag-table build throughput with the static-byte vs byte2 stored-bits
 ratio tracked alongside (compile-time tags vs dynamic 2-bit tags).
 """
 
+import multiprocessing
+import time
+
 import pytest
 
 from repro.obs.metrics import MetricsRegistry
@@ -24,6 +27,7 @@ from repro.pipeline import InOrderPipeline, get_organization, kernel_names
 from repro.sim import tracefile
 from repro.sim.hierarchy_model import get_hierarchy, hierarchy_names
 from repro.study.session import ExperimentSession, TraceStore
+from repro.study.supervisor import SupervisedExecutor
 from repro.study.trace_cache import TraceCache
 from repro.workloads import get_workload
 
@@ -365,6 +369,97 @@ def test_walk_studies_warm(benchmark, tmp_path):
 
     results = benchmark.pedantic(run_warm, rounds=3, iterations=1)
     assert len(results) == len(WALK_IDS)
+
+
+# The old parallel path, reconstructed for comparison: one Pool whose
+# forked workers inherit the broker through an initializer global, and a
+# bare map with no supervision.  (These lived in repro.study.scheduler
+# until the supervised executor replaced them.)
+_POOL_BROKER = None
+
+
+def _pool_worker_init(broker):
+    global _POOL_BROKER
+    _POOL_BROKER = broker
+
+
+def _pool_worker_run(task):
+    return _POOL_BROKER._shipped_run_task(task)
+
+
+def _best_of(run, rounds=3):
+    """Minimum wall seconds over ``rounds`` executions of ``run``."""
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_supervised_executor_overhead(benchmark):
+    # The supervised executor (per-task forks, crash detection, retry
+    # bookkeeping) vs the old bare pool.map it replaced, over the same
+    # pending sim tasks on a warm trace store.  Fault-free supervision
+    # must cost < 5% wall clock — the price of crash recovery is paid
+    # only when something crashes.
+    from repro.pipeline.organizations import ALL_ORGANIZATIONS
+    from repro.study.scheduler import SimUnit
+
+    jobs = 2
+    session = ExperimentSession(workloads=_workloads())
+    session.prepare()  # warm traces in the parent; workers inherit them
+    broker = session.results
+    for workload in _workloads():
+        broker._register(workload)
+    tasks = [
+        SimUnit(workload.name, 1, organization.name)
+        for workload in _workloads()
+        for organization in ALL_ORGANIZATIONS
+    ]
+
+    def run_pool():
+        context = multiprocessing.get_context("fork")
+        with context.Pool(
+            processes=jobs,
+            initializer=_pool_worker_init,
+            initargs=(broker,),
+        ) as pool:
+            return pool.map(_pool_worker_run, tasks)
+
+    def run_supervised():
+        executor = SupervisedExecutor(
+            context=multiprocessing.get_context("fork"),
+            worker=broker._shipped_run_task,
+            inline=broker._inline_run_task,
+            registry=broker.registry,
+            jobs=jobs,
+            label_for=broker._task_label,
+        )
+        return executor.run(tasks)
+
+    pool_best = _best_of(run_pool)
+    supervised_best = _best_of(run_supervised)
+    shipped = benchmark.pedantic(run_supervised, rounds=3, iterations=1)
+    supervised_best = min(
+        supervised_best, min(benchmark.stats.stats.data)
+    )
+    ratio = supervised_best / pool_best
+    _metrics_extra_info(
+        benchmark,
+        tasks_per_round=len(tasks),
+        pool_map_best_seconds=round(pool_best, 4),
+        supervised_best_seconds=round(supervised_best, 4),
+        supervised_vs_pool_ratio=round(ratio, 4),
+    )
+    assert len(shipped) == len(tasks)
+    assert all(payload is not None for payload in shipped)
+    assert ratio < 1.05, (
+        "supervised executor regressed %.1f%% over bare pool.map"
+        % ((ratio - 1.0) * 100.0)
+    )
 
 
 def test_runner_serial(benchmark):

@@ -14,6 +14,8 @@ Examples::
     repro all --hierarchy reference # same output, oracle memory hierarchy
     repro all --cache-dir .cache    # persist traces + results across processes
     repro all --trace-out run.json  # Chrome trace-event timeline (Perfetto)
+    repro all --jobs 4 --inject-faults 'worker.task:kill@0.1,seed=7'
+                                    # chaos run: same output, injected crashes
     repro cache info                # trace-cache and result-store statistics
     repro cache clear               # drop every cached trace and result
     repro cache clear --results     # drop cached results, keep traces
@@ -34,13 +36,21 @@ resolution and raw compute spans — viewable in Perfetto or
 ``chrome://tracing``.  Cache-backed runs additionally write a manifest
 (config, engine fingerprints, final metrics snapshot) under
 ``<cache_dir>/runs/``; ``repro cache info`` reports them.
+
+``--inject-faults SPEC`` (every subcommand; default ``$REPRO_FAULTS``)
+arms the deterministic fault-injection harness of
+:mod:`repro.obs.faults` for the run — worker kills, store ``EIO``,
+cache bit rot — exercising the supervision and degraded-mode machinery
+documented in ``docs/ROBUSTNESS.md``.  ``--max-retries`` and
+``--unit-timeout`` tune the supervised unit executor under ``--jobs``.
 """
 
 import argparse
 import json
+import signal
 import sys
 
-from repro.obs import runlog, tracing
+from repro.obs import faults, runlog, tracing
 from repro.pipeline.kernel import (
     ENV_KERNEL,
     default_kernel_name,
@@ -69,6 +79,32 @@ def positive_int(text):
     if value <= 0:
         raise argparse.ArgumentTypeError(
             "must be a positive integer, got %s" % text
+        )
+    return value
+
+
+def nonnegative_int(text):
+    """argparse type: an integer >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not an integer" % text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "must be a non-negative integer, got %s" % text
+        )
+    return value
+
+
+def positive_float(text):
+    """argparse type: a strictly positive float."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("%r is not a number" % text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            "must be a positive number, got %s" % text
         )
     return value
 
@@ -128,9 +164,43 @@ def build_parser():
             "see 'repro list' for registered hierarchies" % ENV_HIERARCHY
         ),
     )
+    parser.add_argument(
+        "--max-retries",
+        type=nonnegative_int,
+        default=None,
+        help=(
+            "worker failures tolerated per unit under --jobs before the "
+            "guaranteed in-process fallback (default 2)"
+        ),
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "deadline per unit attempt under --jobs; an overrunning "
+            "worker is killed and its unit retried (default: no deadline)"
+        ),
+    )
     _add_cache_dir_option(parser)
     _add_trace_out_option(parser)
+    _add_fault_option(parser)
     return parser
+
+
+def _add_fault_option(parser):
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deterministically inject faults, e.g. 'store.write:eio@0.2,"
+            "worker.task:kill@0.1,seed=7' (default: $%s when set; "
+            "see docs/ROBUSTNESS.md for the point catalog)"
+            % faults.ENV_FAULTS
+        ),
+    )
 
 
 def _add_cache_dir_option(parser):
@@ -185,6 +255,7 @@ def build_cache_parser():
     )
     _add_cache_dir_option(parser)
     _add_trace_out_option(parser)
+    _add_fault_option(parser)
     return parser
 
 
@@ -234,7 +305,54 @@ def build_analyze_parser():
     )
     _add_cache_dir_option(parser)
     _add_trace_out_option(parser)
+    _add_fault_option(parser)
     return parser
+
+
+def _sigterm_to_exit(signum, frame):
+    """Convert SIGTERM into SystemExit so ``finally`` blocks run.
+
+    An in-flight store write then unlinks its temp file (both stores
+    write inside try/finally), and the process still exits with the
+    conventional ``128 + SIGTERM`` status.
+    """
+    raise SystemExit(128 + signum)
+
+
+def _arm_run(args):
+    """Arm fault injection and graceful SIGTERM for one CLI run.
+
+    Returns a ``disarm()`` callable restoring both, or ``None`` when
+    the ``--inject-faults`` / ``$REPRO_FAULTS`` spec does not parse
+    (the error was printed; callers exit 2).  Installing the injector
+    here — never ambiently at import time — keeps library consumers
+    and the test suite fault-free unless they opt in.
+    """
+    spec = (
+        args.inject_faults if args.inject_faults is not None
+        else faults.default_spec()
+    )
+    try:
+        injector = faults.install_spec(spec) if spec is not None else None
+    except faults.FaultSpecError as error:
+        print("repro: invalid --inject-faults spec: %s" % error,
+              file=sys.stderr)
+        return None
+    installed_handler = False
+    try:
+        if signal.getsignal(signal.SIGTERM) == signal.SIG_DFL:
+            signal.signal(signal.SIGTERM, _sigterm_to_exit)
+            installed_handler = True
+    except ValueError:  # not the main thread: keep the default behaviour
+        pass
+
+    def disarm():
+        if injector is not None:
+            faults.install(None)
+        if installed_handler:
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+
+    return disarm
 
 
 def _install_tracer(args):
@@ -268,11 +386,15 @@ def _write_runlog(cache_dir, command, args, registry):
 def _analyze_main(argv):
     """Run ``repro analyze [workloads...]``."""
     args = build_analyze_parser().parse_args(argv)
+    disarm = _arm_run(args)
+    if disarm is None:
+        return 2
     tracer = _install_tracer(args)
     try:
         return _analyze_run(args)
     finally:
         _finish_tracer(tracer, args)
+        disarm()
 
 
 def _analyze_run(args):
@@ -301,6 +423,7 @@ def _analyze_run(args):
     traces = TraceStore(cache=cache)
     broker = ResultBroker(traces, store)
     traces.results = broker
+    faults.bind_registry(broker.registry)
 
     reports = []
     violations = 0
@@ -447,11 +570,15 @@ def _resolve_cache_dir(args):
 def _cache_main(argv):
     """Run ``repro cache info|clear``."""
     args = build_cache_parser().parse_args(argv)
+    disarm = _arm_run(args)
+    if disarm is None:
+        return 2
     tracer = _install_tracer(args)
     try:
         return _cache_run(args)
     finally:
         _finish_tracer(tracer, args)
+        disarm()
 
 
 def _cache_run(args):
@@ -609,11 +736,15 @@ def main(argv=None):
         return 2
     if args.experiment == "list":
         return _list_main(args)
+    disarm = _arm_run(args)
+    if disarm is None:
+        return 2
     tracer = _install_tracer(args)
     try:
         return _experiment_run(args, argv)
     finally:
         _finish_tracer(tracer, args)
+        disarm()
 
 
 def _experiment_run(args, argv):
@@ -643,7 +774,10 @@ def _experiment_run(args, argv):
         cache_dir=cache_dir,
         kernel=args.kernel,
         hierarchy=args.hierarchy,
+        max_retries=args.max_retries,
+        unit_timeout=args.unit_timeout,
     )
+    faults.bind_registry(session.registry)
     names = None if args.experiment == "all" else [args.experiment]
     try:
         if args.experiment == "all" and args.format == "text" and args.jobs == 1:

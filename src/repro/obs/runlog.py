@@ -19,6 +19,8 @@ import os
 import tempfile
 import time
 
+from repro.obs import faults
+
 #: Version stamped into every manifest; bumped on layout changes.
 RUNLOG_VERSION = 1
 
@@ -68,6 +70,10 @@ def write_runlog(cache_dir, command, config, registry, tracer=None):
         "fingerprints": engine_fingerprints(),
         "metrics": registry.jsonable(),
         "spans": tracer.summary() if tracer is not None else None,
+        # The active fault-injection spec and what it actually fired
+        # (None on clean runs) — a chaos run's manifest is self-
+        # describing, replayable from its own "spec" field.
+        "faults": faults.describe_active(),
     }
     name = "run-%s-%d.json" % (
         time.strftime("%Y%m%dT%H%M%S", time.gmtime(now)), os.getpid(),

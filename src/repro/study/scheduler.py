@@ -62,6 +62,7 @@ from repro.pipeline.organizations import get_organization
 from repro.pipeline.predictor import BimodalPredictor
 from repro.sim.hierarchy_model import default_hierarchy_name, get_hierarchy
 from repro.sim.tracefile import TraceCodecError
+from repro.study.supervisor import SupervisedExecutor
 from repro.study.walkers import (
     build_walker,
     unwrap_payload,
@@ -337,31 +338,6 @@ def _result_from_payload(unit, payload):
         return None
 
 
-# Fork-inherited broker for the unit worker pool; per task only the unit
-# tuple (or, for a fused walk group, a list of walk units) travels.  A
-# global keeps run_units reentrant across brokers.
-_WORKER_BROKER = None
-
-
-def _unit_worker_init(broker):
-    global _WORKER_BROKER
-    _WORKER_BROKER = broker
-
-
-def _unit_worker_run(task):
-    # A walk group streaming inside a worker performs real decode work,
-    # and the worker's counters and spans die with the pool: ship the
-    # registry delta (snapshot → diff) and the recorded events back
-    # alongside the result so the parent's report stays truthful.
-    registry = _WORKER_BROKER.registry
-    before = registry.snapshot()
-    tracer = tracing.current_tracer()
-    mark = tracer.event_count() if tracer is not None else 0
-    result, seconds = _WORKER_BROKER._run_task(task)
-    events = tracer.events_since(mark) if tracer is not None else []
-    return result, seconds, registry.snapshot().diff(before), events
-
-
 class ResultBroker:
     """Memoizing executor for analysis units.
 
@@ -379,9 +355,13 @@ class ResultBroker:
     """
 
     def __init__(self, trace_store, result_store=None, kernel=None,
-                 hierarchy=None):
+                 hierarchy=None, max_retries=None, unit_timeout=None):
         self.traces = trace_store
         self.store = result_store
+        #: Supervision knobs for the parallel path (``--max-retries`` /
+        #: ``--unit-timeout``); ``None`` means the supervisor defaults.
+        self.max_retries = max_retries
+        self.unit_timeout = unit_timeout
         #: Pipeline kernel this broker schedules with.  Session-scoped:
         #: requests and run_units pin it on every SimUnit, so a broker
         #: never mixes backends no matter what the process default is.
@@ -435,6 +415,16 @@ class ResultBroker:
         self.hierarchy_seconds = counter(
             "hierarchy_seconds", "simulation wall seconds per hierarchy"
         )
+        #: Parallel runs that degraded to serial execution (and why) —
+        #: the headless-visible form of the fork-unavailable warning.
+        self.parallel_fallbacks = counter(
+            "parallel_fallbacks", "parallel runs degraded to serial execution"
+        )
+        # The persistent result store reports its write failures and
+        # degraded-mode flips through the same registry (the trace
+        # cache is bound by the TraceStore that owns it).
+        if self.store is not None and hasattr(self.store, "bind_registry"):
+            self.store.bind_registry(self.registry)
 
     @property
     def sim_seconds(self):
@@ -678,10 +668,39 @@ class ResultBroker:
         ):
             return self._compute_timed(task, self._workload_for(task))
 
+    def _shipped_run_task(self, task):
+        # Runs in a forked worker.  A walk group streaming inside a
+        # worker performs real decode work, and the worker's counters
+        # and spans die with it: ship the registry delta (snapshot →
+        # diff) and the recorded events back alongside the result so
+        # the parent's report stays truthful.
+        before = self.registry.snapshot()
+        tracer = tracing.current_tracer()
+        mark = tracer.event_count() if tracer is not None else 0
+        result, seconds = self._run_task(task)
+        events = tracer.events_since(mark) if tracer is not None else []
+        return result, seconds, self.registry.snapshot().diff(before), events
+
+    def _inline_run_task(self, task):
+        # The supervisor's quarantine / last-resort path: same payload
+        # shape as _shipped_run_task, but computed in the parent, where
+        # counters and spans record directly (hence no delta to merge).
+        result, seconds = self._run_task(task)
+        return result, seconds, None, None
+
+    @staticmethod
+    def _task_label(task):
+        """Counter/span label for a scheduling task (unit or walk group)."""
+        if isinstance(task, list):
+            first = task[0]
+            return "%s@%d/walkgroup" % (first.workload, first.scale)
+        return task.label()
+
     def _compute_parallel(self, tasks, jobs):
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # no fork on this platform: stay correct, serial
+            self.parallel_fallbacks.inc("fork-unavailable")
             print(
                 "repro: fork start method unavailable on this platform; "
                 "computing %d units serially despite --jobs %d"
@@ -689,22 +708,23 @@ class ResultBroker:
                 file=sys.stderr,
             )
             return [self._run_task(task) for task in tasks]
-        with context.Pool(
-            processes=min(jobs, len(tasks)),
-            initializer=_unit_worker_init,
-            initargs=(self,),
-        ) as pool:
-            # Worker processes die with their counters and spans;
-            # measured sim times, the registry delta (a walk group
-            # streaming in a worker is a real decode) and the recorded
-            # events ride back alongside the results so the parent's
-            # report and trace stay truthful.
-            shipped = pool.map(_unit_worker_run, tasks, chunksize=1)
+        executor = SupervisedExecutor(
+            context=context,
+            worker=self._shipped_run_task,
+            inline=self._inline_run_task,
+            registry=self.registry,
+            jobs=min(jobs, len(tasks)),
+            label_for=self._task_label,
+            max_retries=self.max_retries,
+            unit_timeout=self.unit_timeout,
+        )
+        shipped = executor.run(tasks)
         tracer = tracing.current_tracer()
         timed = []
         for result, seconds, delta, events in shipped:
-            self.registry.merge(delta)
-            if tracer is not None:
+            if delta is not None:
+                self.registry.merge(delta)
+            if events and tracer is not None:
                 tracer.extend(events)
             timed.append((result, seconds))
         return timed

@@ -263,7 +263,8 @@ class ExperimentSession:
     """
 
     def __init__(self, workloads=None, scale=1, store=None, cache_dir=None,
-                 kernel=None, hierarchy=None):
+                 kernel=None, hierarchy=None, max_retries=None,
+                 unit_timeout=None):
         from repro.pipeline.kernel import default_kernel_name
         from repro.sim.hierarchy_model import default_hierarchy_name
         from repro.study.scheduler import ResultBroker
@@ -307,6 +308,8 @@ class ExperimentSession:
                     if hierarchy is not None
                     else default_hierarchy_name()
                 ),
+                max_retries=max_retries,
+                unit_timeout=unit_timeout,
             )
         elif kernel is not None and self.store.results.kernel != kernel:
             # A pre-built broker pins its own kernel; silently simulating
@@ -325,6 +328,13 @@ class ExperimentSession:
         #: The unit scheduler: memoizes per-(workload, organization)
         #: simulation/analysis results over this session's trace store.
         self.results = self.store.results
+        # Supervision knobs apply to a pre-built broker too (unlike the
+        # kernel/hierarchy pins they carry no cached-result identity,
+        # so adopting the caller's values cannot mix anything).
+        if max_retries is not None:
+            self.results.max_retries = max_retries
+        if unit_timeout is not None:
+            self.results.unit_timeout = unit_timeout
         #: Name of the pipeline kernel this session simulates with.
         #: Session-scoped, not process-global: the broker pins it on
         #: every SimUnit it schedules, so two sessions in one process
@@ -491,6 +501,7 @@ class ExperimentSession:
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # no fork on this platform: stay correct, serial
+            self.results.parallel_fallbacks.inc("fork-unavailable")
             print(
                 "repro: fork start method unavailable on this platform; "
                 "running %d experiments serially despite --jobs %d"
@@ -604,5 +615,27 @@ class ExperimentSession:
                 }
                 for phase, stats in sorted(self.phases.items())
             },
+            # Additive keys: the fault-tolerance instruments (see
+            # docs/ROBUSTNESS.md).  Empty dicts on a clean run; the
+            # supervisor/store/injector registrations may not exist at
+            # all on serial fault-free runs, hence the registry lookup.
+            "unit_retries": self._instrument_values("unit_retries"),
+            "worker_crashes": self._instrument_values("worker_crashes"),
+            "unit_quarantines": self._instrument_values("unit_quarantines"),
+            "parallel_fallbacks": self._instrument_values(
+                "parallel_fallbacks"
+            ),
+            "store_write_failures": self._instrument_values(
+                "store_write_failures"
+            ),
+            "store_degraded": self._instrument_values("store_degraded"),
+            "faults_injected": self._instrument_values("faults_injected"),
         }
         return json.dumps(payload, indent=indent)
+
+    def _instrument_values(self, name):
+        """A registry instrument's label → value map (empty when absent)."""
+        instrument = self.registry.get(name)
+        if not instrument:
+            return {}
+        return {str(label): value for label, value in sorted(instrument.items())}

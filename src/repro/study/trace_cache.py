@@ -24,19 +24,45 @@ A stale key simply never matches — old files sit inert until
 skew) fail closed: :meth:`TraceCache.load` returns ``None`` and deletes
 the file, and the caller re-simulates.  Writes go through a temp file
 and ``os.replace`` so concurrent processes never observe a partial
-entry.
+entry; the temp file is removed in a ``finally``, so an interrupted
+write cannot leak it (strays from a hard kill are reported by ``cache
+info`` and removed by ``cache clear``).
+
+Writes also **degrade instead of raising**: a transient ``OSError``
+(full disk, read-only directory, injected ``cache.write:eio``) is
+retried :data:`WRITE_ATTEMPTS` times with backoff, and a store whose
+writes keep failing flips into an in-memory-only *degraded mode* — a
+one-time stderr warning, the ``store_degraded`` gauge, and silently
+skipped writes from then on.  Reads never degrade; the in-process
+:class:`~repro.study.session.TraceStore` keeps serving, so a run on a
+broken disk completes compute-only instead of crashing.  See
+``docs/ROBUSTNESS.md``.
 """
 
 import hashlib
 import json
 import os
+import sys
 import tempfile
+import time
 
+from repro.obs import faults
 from repro.obs.metrics import MetricsRegistry, format_workload_scale
 from repro.sim import tracefile
 
 #: Environment variable supplying a default cache directory to the CLI.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Write-retry policy shared by :class:`TraceCache` and the result
+#: store: attempts per entry, and the base of the exponential backoff
+#: between them (seconds).
+WRITE_ATTEMPTS = 3
+WRITE_BACKOFF = 0.02
+
+#: Shared instrument descriptions (both stores register these in the
+#: same session registry, and registration demands one description).
+WRITE_FAILURES_DESCRIPTION = "persistent store writes that failed with OSError"
+DEGRADED_DESCRIPTION = "1 once a store has flipped to in-memory-only mode"
 
 #: Packages whose sources determine trace content (compile + simulate).
 _TOOLCHAIN_PACKAGES = ("repro.minic", "repro.asm", "repro.isa", "repro.sim")
@@ -97,6 +123,36 @@ def source_hash(workload, scale=1):
     return hashlib.sha256(workload.source(scale).encode("utf-8")).hexdigest()
 
 
+def stray_temp_files(root):
+    """Orphaned ``.tmp`` names under ``root`` from interrupted writes.
+
+    Both stores write through ``mkstemp(prefix=".", suffix=".tmp")``;
+    anything matching that shape after a write finished is a leak (a
+    hard-killed writer), which ``cache info`` reports and ``cache
+    clear`` removes.
+    """
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return []
+    return sorted(
+        name for name in names
+        if name.startswith(".") and name.endswith(".tmp")
+    )
+
+
+def remove_stray_temp_files(root):
+    """Delete orphaned temp files under ``root``; returns how many."""
+    removed = 0
+    for name in stray_temp_files(root):
+        try:
+            os.remove(os.path.join(root, name))
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
 class TraceCache:
     """Directory of significance-compressed trace files, safely keyed.
 
@@ -113,11 +169,19 @@ class TraceCache:
         ("stores", "trace_cache_stores", "trace files written"),
     )
 
+    #: Label this store reports under in the shared ``store_write_failures``
+    #: counter and ``store_degraded`` gauge.
+    _DEGRADED_LABEL = "trace_cache"
+
     def __init__(self, root, registry=None):
         # The directory is only created on first store(): read paths
         # (info, clear, load) must not leave empty directories behind
         # when pointed at a mistyped location.
         self.root = str(root)
+        #: True once writes have failed past the retry budget: the
+        #: store skips all further writes (reads keep working) instead
+        #: of aborting runs that could complete compute-only.
+        self.degraded = False
         #: Process-local counters, keyed like TraceStore: (name, scale).
         #: Registered in a :class:`~repro.obs.metrics.MetricsRegistry`
         #: (a private one until a TraceStore rebinds the cache to the
@@ -145,7 +209,30 @@ class TraceCache:
                 for label, count in previous.items():
                     counter.inc(label, count)
             setattr(self, attribute, counter)
+        failures = registry.counter(
+            "store_write_failures", WRITE_FAILURES_DESCRIPTION
+        )
+        previous = getattr(self, "write_failures", None)
+        if previous:
+            for label, count in dict(previous).items():
+                failures.inc(label, count)
+        self.write_failures = failures
+        gauge = registry.gauge("store_degraded", DEGRADED_DESCRIPTION)
+        if self.degraded:
+            gauge.set(self._DEGRADED_LABEL, 1)
+        self._degraded_gauge = gauge
         self.registry = registry
+
+    def _degrade(self, error):
+        """Flip into in-memory-only mode after exhausted write retries."""
+        self.degraded = True
+        self._degraded_gauge.set(self._DEGRADED_LABEL, 1)
+        print(
+            "repro: %s %s degraded to in-memory-only after %d failed "
+            "write attempts: %s"
+            % (self._DEGRADED_LABEL, self.root, WRITE_ATTEMPTS, error),
+            file=sys.stderr,
+        )
 
     # ---------------------------------------------------------------- keys
 
@@ -197,6 +284,10 @@ class TraceCache:
 
     def _stream(self, path, key):
         try:
+            if faults.fire("cache.stream", key=os.path.basename(path)):
+                raise tracefile.TraceCodecError(
+                    "injected stream fault: %s" % path
+                )
             for record in tracefile.iter_records(path):
                 yield record
         except (tracefile.TraceCodecError, OSError, ValueError) as error:
@@ -219,6 +310,10 @@ class TraceCache:
         key = (workload.name, scale)
         path = self.path_for(workload, scale)
         try:
+            if faults.fire("trace.decode", key=os.path.basename(path)):
+                raise tracefile.TraceCodecError(
+                    "injected decode fault: %s" % path
+                )
             records, _meta = tracefile.load_trace(path)
         except FileNotFoundError:
             self.misses[key] = self.misses.get(key, 0) + 1
@@ -234,7 +329,14 @@ class TraceCache:
         return records
 
     def store(self, workload, scale, records):
-        """Atomically write one trace entry; returns its file path."""
+        """Atomically write one trace entry; returns its file path.
+
+        Transient ``OSError``s are retried with backoff; exhausted
+        retries flip the store into degraded mode and return ``None``
+        (as does every write after that) instead of raising.
+        """
+        if self.degraded:
+            return None
         key = (workload.name, scale)
         path = self.path_for(workload, scale)
         meta = {
@@ -243,22 +345,40 @@ class TraceCache:
             "source_hash": source_hash(workload, scale),
             "toolchain": toolchain_fingerprint(),
         }
+        name = os.path.basename(path)
+        for attempt in range(WRITE_ATTEMPTS):
+            try:
+                faults.fire("cache.write", key="%s#%d" % (name, attempt))
+                self._write_entry(path, workload, scale, records, meta)
+            except OSError as error:
+                self.write_failures.inc(self._DEGRADED_LABEL)
+                if attempt + 1 < WRITE_ATTEMPTS:
+                    time.sleep(WRITE_BACKOFF * (2 ** attempt))
+                    continue
+                self._degrade(error)
+                return None
+            self.stores[key] = self.stores.get(key, 0) + 1
+            return path
+
+    def _write_entry(self, path, workload, scale, records, meta):
+        # try/finally, not except/re-raise: the temp file must be gone
+        # on *every* exit, including KeyboardInterrupt/SystemExit mid
+        # dump (os.replace already consumed it on the success path, so
+        # the unlink is a no-op there).
         os.makedirs(self.root, exist_ok=True)
         fd, temp_path = tempfile.mkstemp(
-            prefix=".%s@%d-" % (workload.name, scale), dir=self.root
+            prefix=".%s@%d-" % (workload.name, scale), suffix=".tmp",
+            dir=self.root,
         )
         os.close(fd)
         try:
             tracefile.dump_trace(temp_path, records, meta=meta)
             os.replace(temp_path, path)
-        except BaseException:
+        finally:
             try:
                 os.remove(temp_path)
             except OSError:
                 pass
-            raise
-        self.stores[key] = self.stores.get(key, 0) + 1
-        return path
 
     # ------------------------------------------------------------ inspection
 
@@ -302,12 +422,13 @@ class TraceCache:
             "naive_bytes": naive_bytes,
             "ratio": (encoded_bytes / naive_bytes) if naive_bytes else 0.0,
             "unreadable": unreadable,
+            "temp_files": len(stray_temp_files(self.root)),
             "codec_version": tracefile.CODEC_VERSION,
         }
 
     def clear(self):
-        """Delete every cache entry; returns how many were removed."""
-        removed = 0
+        """Delete every cache entry (and stray temp file); returns count."""
+        removed = remove_stray_temp_files(self.root)
         for name in self.entries():
             try:
                 os.remove(os.path.join(self.root, name))

@@ -43,6 +43,14 @@ Two documentation invariants ride along:
    scheme that is registered but never cross-checked could silently
    under-claim bits in every table it appears in.
 
+7. **Fault-point discipline** — every ``faults.fire("...")`` call site
+   under ``src/repro`` must name a point registered in
+   ``repro.obs.faults.POINTS`` (an unregistered point would silently
+   never fire), every registered point must have at least one live call
+   site outside ``faults.py`` (a dead point would let chaos specs pass
+   vacuously), and every point must be documented (backticked) in
+   ``docs/ROBUSTNESS.md``.
+
 Everything here is AST-based: the checker parses sources, it never
 imports ``repro`` (so it runs before the package does, and a syntax
 error in the tree is itself a finding).  Run from the repo root:
@@ -92,9 +100,14 @@ ORCHESTRATION_ONLY = frozenset((
     # describe a run, they do not feed results, so repro.obs stays
     # outside every fingerprint (editing it must not cold-start CI).
     "repro.obs",                # package __init__: re-exports only
+    "repro.obs.faults",         # injection shapes failures, not results
     "repro.obs.metrics",
     "repro.obs.runlog",
     "repro.obs.tracing",
+    # The supervisor decides *where/when* units run (retry, quarantine,
+    # timeout) but delegates *what* they compute to the broker, whose
+    # unit descriptors already ride in every cache key.
+    "repro.study.supervisor",
 ))
 
 #: (relative path, version constant) pairs: every stored-payload layout
@@ -457,11 +470,12 @@ def _cli_option_strings():
         if isinstance(node, ast.FunctionDef)
     }
     options = set()
-    # _add_cache_dir_option/_add_trace_out_option are shared by every
-    # builder; charge their options to the common pool rather than
-    # tracing call edges.
+    # _add_cache_dir_option/_add_trace_out_option/_add_fault_option are
+    # shared by every builder; charge their options to the common pool
+    # rather than tracing call edges.
     for name in CLI_PARSER_BUILDERS + (
         "_add_cache_dir_option", "_add_trace_out_option",
+        "_add_fault_option",
     ):
         builder = builders.get(name)
         if builder is None:
@@ -521,6 +535,7 @@ def check_cli_docs(errors):
 #: Keep in sync with the negated ruff per-file-ignores pattern in
 #: pyproject.toml (this check also verifies that sync).
 DOCSTRING_MODULES = (
+    "src/repro/obs/faults.py",
     "src/repro/obs/metrics.py",
     "src/repro/obs/runlog.py",
     "src/repro/obs/tracing.py",
@@ -528,6 +543,7 @@ DOCSTRING_MODULES = (
     "src/repro/sim/hierarchy_model.py",
     "src/repro/study/scheduler.py",
     "src/repro/study/result_store.py",
+    "src/repro/study/supervisor.py",
     "src/repro/study/walkers.py",
 )
 
@@ -597,8 +613,10 @@ INSTRUMENTED_MODULES = (
     "src/repro/pipeline/kernel.py",
     "src/repro/sim/hierarchy_model.py",
     "src/repro/sim/tracefile.py",
+    "src/repro/study/result_store.py",
     "src/repro/study/scheduler.py",
     "src/repro/study/session.py",
+    "src/repro/study/supervisor.py",
     "src/repro/study/trace_cache.py",
 )
 
@@ -755,6 +773,93 @@ def check_registered_schemes(errors):
         )
 
 
+#: The fault-injection module registering POINTS and defining fire().
+FAULTS_PATH = "src/repro/obs/faults.py"
+
+#: The document that must catalog every registered fault point.
+ROBUSTNESS_DOC = "docs/ROBUSTNESS.md"
+
+
+def _fired_points():
+    """``(relative_path, point)`` for every faults.fire("...") in src."""
+    fired = []
+    faults_relative = FAULTS_PATH.replace("/", os.sep)
+    for dirpath, dirnames, filenames in os.walk(
+        os.path.join(SRC_ROOT, "repro")
+    ):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            relative = os.path.relpath(
+                os.path.join(dirpath, filename), REPO_ROOT
+            )
+            if relative == faults_relative:
+                continue
+            for node in ast.walk(_parse(relative)):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "fire"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "faults"
+                ):
+                    continue
+                if (
+                    node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    fired.append((relative, node.args[0].value))
+                else:
+                    fired.append((relative, None))
+    return fired
+
+
+def check_fault_points(errors):
+    """Invariant 7: fire() sites and POINTS and the docs agree."""
+    registered = _assigned_dict_string_keys(_parse(FAULTS_PATH), "POINTS")
+    if registered is None:
+        errors.append(
+            "%s: POINTS is not a dict literal with string keys (the "
+            "fault-point check cannot read it)" % FAULTS_PATH
+        )
+        return
+    fired = _fired_points()
+    for relative, point in fired:
+        if point is None:
+            errors.append(
+                "%s: faults.fire() called with a non-literal point name "
+                "(the point catalog must be statically checkable)"
+                % relative
+            )
+        elif point not in registered:
+            errors.append(
+                "%s: faults.fire(%r) names a point that POINTS does not "
+                "register — it would never fire" % (relative, point)
+            )
+    live = {point for _, point in fired if point is not None}
+    for point in registered:
+        if point not in live:
+            errors.append(
+                "%s: registered point %r has no faults.fire() call site "
+                "under src/repro — chaos specs naming it pass vacuously"
+                % (FAULTS_PATH, point)
+            )
+    doc_path = os.path.join(REPO_ROOT, ROBUSTNESS_DOC)
+    if not os.path.exists(doc_path):
+        errors.append("%s: file missing" % ROBUSTNESS_DOC)
+        return
+    with open(doc_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    for point in registered:
+        if "`%s`" % point not in text:
+            errors.append(
+                "%s: registered point %r is not documented (backticked) "
+                "in the point catalog" % (ROBUSTNESS_DOC, point)
+            )
+
+
 def main():
     errors = []
     check_fingerprint_coverage(errors)
@@ -763,6 +868,7 @@ def main():
     check_registered_kernels(errors)
     check_registered_hierarchies(errors)
     check_registered_schemes(errors)
+    check_fault_points(errors)
     check_cli_docs(errors)
     check_docstrings(errors)
     check_observability(errors)
